@@ -1,0 +1,64 @@
+// Command accessmap visualizes the file access pattern of a collective
+// read (the paper's Fig 9): which blocks of the file the two-phase
+// optimizer physically reads when the application wants one variable of
+// five. It prints ASCII shade maps and can write PGM images.
+//
+// The scenario is fixed to the paper's: the 1120^3 five-variable file
+// read by 2K cores.
+//
+//	accessmap -pgm-dir ./maps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bgpvr/internal/bench"
+	"bgpvr/internal/img"
+	"bgpvr/internal/machine"
+)
+
+func main() {
+	pgmDir := flag.String("pgm-dir", "", "also write one PGM image per mode")
+	flag.Parse()
+
+	modes, report, err := bench.Fig9(machine.NewBGP())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accessmap:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+	if *pgmDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*pgmDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "accessmap:", err)
+		os.Exit(1)
+	}
+	for _, m := range modes {
+		name := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+				return r
+			default:
+				return '_'
+			}
+		}, m.Name)
+		path := filepath.Join(*pgmDir, name+".pgm")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accessmap:", err)
+			os.Exit(1)
+		}
+		w := len(m.Map) / m.Rows
+		if err := img.EncodePGM(f, w, m.Rows, m.Map); err != nil {
+			fmt.Fprintln(os.Stderr, "accessmap:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println("wrote", path)
+	}
+}

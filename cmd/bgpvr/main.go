@@ -1,0 +1,202 @@
+// Command bgpvr runs one end-to-end parallel volume rendering frame:
+// collective I/O (or in-memory generation), parallel ray casting, and
+// direct-send compositing.
+//
+// Real mode executes with goroutine ranks on real data and writes the
+// final image:
+//
+//	bgpvr -mode real -n 64 -img 256 -procs 8 -m 4 -format raw -o frame.ppm
+//
+// Model mode computes the virtual frame time at Blue Gene/P scale:
+//
+//	bgpvr -mode model -n 1120 -img 1600 -procs 16384 -format raw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bgpvr/internal/core"
+	"bgpvr/internal/mpiio"
+	"bgpvr/internal/stats"
+)
+
+func main() {
+	mode := flag.String("mode", "real", "real or model")
+	n := flag.Int("n", 64, "volume grid size n^3")
+	imgSize := flag.Int("img", 256, "image size (square)")
+	procs := flag.Int("procs", 8, "number of ranks")
+	m := flag.Int("m", 0, "compositors (0: real=procs, model=paper's improved rule)")
+	format := flag.String("format", "generate", "generate, raw, netcdf, cdf5, h5")
+	path := flag.String("path", "", "data file (written if absent; default under temp)")
+	algo := flag.String("algo", "direct", "direct, binaryswap, radixk, gather (real mode)")
+	persp := flag.Bool("persp", false, "perspective camera")
+	window := flag.Int64("cb", 0, "MPI-IO cb_buffer_size hint (0 = default)")
+	ghostExchange := flag.Bool("ghost-exchange", false, "obtain ghost layers by neighbor messages instead of reading them")
+	shaded := flag.Bool("shaded", false, "gradient shading (real mode)")
+	frames := flag.Int("frames", 1, "time steps to render (real mode; >1 animates the SASI phase)")
+	out := flag.String("o", "", "output PPM path (real mode; %d inserted for -frames > 1)")
+	flag.Parse()
+
+	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
+		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,
+		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out}); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpvr:", err)
+		os.Exit(1)
+	}
+}
+
+// patternize turns a path into a per-frame pattern: a path already
+// containing a %d verb is kept, otherwise a frame number is inserted
+// before the extension.
+func patternize(path string) string {
+	if strings.Contains(path, "%") {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-%04d" + ext
+}
+
+func parseFormat(s string) (core.Format, error) {
+	switch s {
+	case "generate":
+		return core.FormatGenerate, nil
+	case "raw":
+		return core.FormatRaw, nil
+	case "netcdf":
+		return core.FormatNetCDF, nil
+	case "cdf5":
+		return core.FormatCDF5, nil
+	case "h5":
+		return core.FormatH5, nil
+	}
+	return 0, fmt.Errorf("unknown format %q", s)
+}
+
+// runArgs carries the parsed CLI flags.
+type runArgs struct {
+	mode          string
+	n, imgSize    int
+	procs, m      int
+	format, path  string
+	algo          string
+	persp, shaded bool
+	window        int64
+	ghostExchange bool
+	frames        int
+	out           string
+}
+
+func run(a runArgs) error {
+	mode, n, imgSize, procs, m := a.mode, a.n, a.imgSize, a.procs, a.m
+	format, path, algo, persp, window, out := a.format, a.path, a.algo, a.persp, a.window, a.out
+	ghostExchange := a.ghostExchange
+	f, err := parseFormat(format)
+	if err != nil {
+		return err
+	}
+	scene := core.DefaultScene(n, imgSize)
+	scene.Perspective = persp
+	scene.Shaded = a.shaded
+	hints := mpiio.Hints{CBBufferSize: window}
+
+	switch mode {
+	case "model":
+		res, err := core.RunModel(core.ModelConfig{
+			Scene: scene, Procs: procs, Compositors: m, Format: f, Hints: hints})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model frame: %d^3 volume, %d^2 image, %d cores, format %v\n", n, imgSize, procs, f)
+		fmt.Printf("  I/O:        %s (%.1f%%)  read bw %s\n",
+			stats.Seconds(res.Times.IO), core.Percent(res.Times.IO, res.Times.Total), stats.Rate(res.ReadBW))
+		fmt.Printf("  render:     %s (%.1f%%)\n",
+			stats.Seconds(res.Times.Render), core.Percent(res.Times.Render, res.Times.Total))
+		fmt.Printf("  composite:  %s (%.1f%%)  %d messages, mean %.0f B\n",
+			stats.Seconds(res.Times.Composite), core.Percent(res.Times.Composite, res.Times.Total),
+			res.Messages, res.MeanMessageBytes)
+		fmt.Printf("  total:      %s\n", stats.Seconds(res.Times.Total))
+		if f != core.FormatGenerate {
+			fmt.Printf("  physical I/O: %s in %d accesses (density %.3f)\n",
+				stats.Bytes(res.IO.PhysicalBytes), res.IO.Accesses, res.IO.Density())
+		}
+		return nil
+
+	case "real":
+		cfg := core.RealConfig{Scene: scene, Procs: procs, Compositors: m, Format: f,
+			Hints: hints, GhostExchange: ghostExchange}
+		switch algo {
+		case "direct":
+			cfg.Algo = core.CompositeDirectSend
+		case "binaryswap":
+			cfg.Algo = core.CompositeBinarySwap
+		case "radixk":
+			cfg.Algo = core.CompositeRadixK
+		case "gather":
+			cfg.Algo = core.CompositeSerialGather
+		default:
+			return fmt.Errorf("unknown algorithm %q", algo)
+		}
+		if f != core.FormatGenerate {
+			if path == "" {
+				path = filepath.Join(os.TempDir(), fmt.Sprintf("bgpvr-%d-%v.dat", n, f))
+			}
+			if _, err := os.Stat(path); err != nil {
+				fmt.Printf("writing %v time step to %s ...\n", f, path)
+				if err := core.WriteSceneFile(path, f, scene); err != nil {
+					return err
+				}
+			}
+			cfg.Path = path
+		}
+		if a.frames > 1 {
+			seqCfg := core.SequenceConfig{Base: cfg, Steps: a.frames, TimeDelta: 0.4}
+			if f != core.FormatGenerate {
+				seqCfg.PathPattern = patternize(cfg.Path)
+				cfg.Path = ""
+			}
+			if out != "" {
+				seqCfg.ImagePattern = patternize(out)
+			}
+			seq, err := core.RunSequence(seqCfg)
+			if err != nil {
+				return err
+			}
+			tot := seq.TotalTimes()
+			fmt.Printf("sequence: %d frames, %d^3 volume, %d ranks\n", a.frames, n, procs)
+			fmt.Printf("  totals: io=%s render=%s composite=%s\n",
+				stats.Seconds(tot.IO), stats.Seconds(tot.Render), stats.Seconds(tot.Composite))
+			for _, p := range seq.Images {
+				fmt.Println("  image:", p)
+			}
+			return nil
+		}
+		res, err := core.RunReal(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("real frame: %d^3 volume, %d^2 image, %d ranks, format %v, algo %s\n",
+			n, imgSize, procs, f, algo)
+		fmt.Printf("  I/O:        %s\n", stats.Seconds(res.Times.IO))
+		fmt.Printf("  render:     %s  (%d samples, imbalance %.2f)\n",
+			stats.Seconds(res.Times.Render), res.Samples, res.SampleBalance)
+		fmt.Printf("  composite:  %s  (%d messages, %s)\n",
+			stats.Seconds(res.Times.Composite), res.Traffic.Messages, stats.Bytes(res.Traffic.TotalBytes))
+		fmt.Printf("  total:      %s\n", stats.Seconds(res.Times.Total))
+		if f != core.FormatGenerate {
+			fmt.Printf("  physical I/O: %s in %d accesses (density %.3f)\n",
+				stats.Bytes(res.IO.PhysicalBytes), res.IO.Accesses, res.IO.Density())
+		}
+		if out != "" {
+			if err := res.Image.WritePPM(out, 0); err != nil {
+				return err
+			}
+			fmt.Printf("  image:      %s\n", out)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}

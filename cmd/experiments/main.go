@@ -1,0 +1,173 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the Blue Gene/P machine model and prints the reports.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|ablations|crossmachine]
+//
+// The output rows mirror what the paper plots; EXPERIMENTS.md records
+// the side-by-side comparison against the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bgpvr/internal/bench"
+	"bgpvr/internal/machine"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations)")
+	flag.Parse()
+
+	mach := machine.NewBGP()
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	section := func(s string) {
+		fmt.Println(s)
+		fmt.Println(strings.Repeat("-", 72))
+	}
+
+	ran := false
+	if want("table1") {
+		ran = true
+		section(bench.Table1())
+	}
+	if want("fig3") {
+		ran = true
+		_, s, err := bench.Fig3(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig4") {
+		ran = true
+		_, s, err := bench.Fig4(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig5") {
+		ran = true
+		_, s, err := bench.Fig5(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("table2") {
+		ran = true
+		_, s, err := bench.Table2(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig6") {
+		ran = true
+		_, s, err := bench.Fig6(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig7") {
+		ran = true
+		_, s, err := bench.Fig7(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig8") {
+		ran = true
+		s, err := bench.Fig8(1120)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig9") {
+		ran = true
+		_, s, err := bench.Fig9(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("fig10") {
+		ran = true
+		_, s, err := bench.Fig10(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("preprocess") {
+		ran = true
+		s, err := bench.PreprocessModel(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("iosig") {
+		ran = true
+		s, err := bench.IOSignature(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("crossmachine") {
+		ran = true
+		s, err := bench.CrossMachine()
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("ablations") {
+		ran = true
+		_, s, err := bench.AblationCompositors(mach, 16384)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+		if s, err = bench.AblationCompositeAlgo(mach); err != nil {
+			fail(err)
+		}
+		section(s)
+		if _, s, err = bench.AblationCBBuffer(mach); err != nil {
+			fail(err)
+		}
+		section(s)
+		if s, err = bench.AblationContention(mach); err != nil {
+			fail(err)
+		}
+		section(s)
+		if s, err = bench.AblationAggregators(mach); err != nil {
+			fail(err)
+		}
+		section(s)
+		if s, err = bench.AblationPlacement(mach, 16384); err != nil {
+			fail(err)
+		}
+		section(s)
+		if s, err = bench.AblationNetworkModel(mach); err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if !ran {
+		fail(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}

@@ -1,0 +1,83 @@
+// Command iobench runs the paper's synthetic I/O benchmark (Fig 10) in
+// both modes: real mode writes a small multivariate time step in each of
+// the five formats and reads one variable back collectively, reporting
+// measured time, physical bytes, access counts, and data density;
+// model mode reports the same at the paper's 1120^3 / 2K-core scale.
+//
+//	iobench -n 48 -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bgpvr/internal/bench"
+	"bgpvr/internal/core"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/mpiio"
+	"bgpvr/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 48, "real-mode volume grid size n^3")
+	procs := flag.Int("procs", 8, "real-mode ranks")
+	skipModel := flag.Bool("skip-model", false, "skip the paper-scale model run")
+	flag.Parse()
+	if err := run(*n, *procs, !*skipModel); err != nil {
+		fmt.Fprintln(os.Stderr, "iobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, procs int, model bool) error {
+	scene := core.DefaultScene(n, 64)
+	dir, err := os.MkdirTemp("", "iobench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Window sized so the record structure matters at this scale.
+	rec := int64(n) * int64(n) * 4
+	modes := []struct {
+		name   string
+		format core.Format
+		window int64
+	}{
+		{"raw", core.FormatRaw, 0},
+		{"new netCDF (CDF-5)", core.FormatCDF5, 0},
+		{"h5lite", core.FormatH5, 0},
+		{"tuned netCDF", core.FormatNetCDF, rec},
+		{"untuned netCDF", core.FormatNetCDF, 4 * rec},
+	}
+	fmt.Printf("real mode: %d^3 volume, %d ranks, files under %s\n", n, procs, dir)
+	fmt.Printf("%-20s %10s %12s %10s %8s\n", "mode", "read time", "physical", "accesses", "density")
+	for _, m := range modes {
+		path := filepath.Join(dir, "step."+m.format.String()+fmt.Sprint(m.window))
+		if err := core.WriteSceneFile(path, m.format, scene); err != nil {
+			return err
+		}
+		res, err := core.RunReal(core.RealConfig{
+			Scene: scene, Procs: procs, Format: m.format, Path: path,
+			Hints: mpiio.Hints{CBBufferSize: m.window, CBNodes: min(procs, 4)},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %10s %12s %10d %8.3f\n", m.name,
+			stats.Seconds(res.Times.IO), stats.Bytes(res.IO.PhysicalBytes),
+			res.IO.Accesses, res.IO.Density())
+	}
+
+	if model {
+		fmt.Println()
+		_, report, err := bench.Fig10(machine.NewBGP())
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	}
+	return nil
+}

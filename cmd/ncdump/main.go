@@ -1,0 +1,73 @@
+// Command ncdump prints the header of a netCDF classic file (CDF-1/2/5)
+// in CDL notation, like the real `ncdump -h`. It also understands the
+// repository's h5lite containers.
+//
+//	ncdump step.nc
+//	ncdump -layout step.nc    # add per-variable byte offsets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bgpvr/internal/h5lite"
+	"bgpvr/internal/netcdf"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/vfile"
+)
+
+func main() {
+	layout := flag.Bool("layout", false, "also print the byte layout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ncdump [-layout] <file>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *layout); err != nil {
+		fmt.Fprintln(os.Stderr, "ncdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, layout bool) error {
+	f, err := vfile.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	name := filepath.Base(path)
+	if h, err := netcdf.ReadHeader(f); err == nil {
+		fmt.Print(h.CDL(name))
+		if layout {
+			fmt.Println("\n// layout:")
+			for i := range h.Vars {
+				v := &h.Vars[i]
+				kind := "fixed"
+				if h.IsRecordVar(v) {
+					kind = fmt.Sprintf("record (stride %d)", h.RecSize())
+				}
+				fmt.Printf("//\t%-16s begin %12d  vsize %10d  %s\n", v.Name, v.Begin, v.VSize, kind)
+			}
+		}
+		return nil
+	}
+
+	// Fall back to h5lite.
+	h5, err := h5lite.Open(f)
+	if err != nil {
+		return fmt.Errorf("not a netCDF classic or h5lite file: %w", err)
+	}
+	fmt.Printf("h5lite %s {\n", name)
+	for _, d := range h5.Datasets {
+		fmt.Printf("\tfloat %s(%d, %d, %d) ;  // %s at offset %d\n",
+			d.Name, d.Dims.Z, d.Dims.Y, d.Dims.X, stats.Bytes(d.Size), d.Offset)
+		for k, v := range d.Attrs {
+			fmt.Printf("\t\t%s:%s = %q ;\n", d.Name, k, v)
+		}
+	}
+	fmt.Println("}")
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package bgpvr is a from-scratch Go reproduction of "End-to-End Study
+// of Parallel Volume Rendering on the IBM Blue Gene/P" (Peterka, Yu,
+// Ross, Ma, Latham — ICPP 2009): sort-last parallel ray-casting volume
+// rendering with collective I/O and direct-send compositing, together
+// with every substrate the paper's experiments depend on — an MPI-like
+// runtime, a netCDF classic codec (CDF-1/2/5), an HDF5-like container,
+// a ROMIO-style two-phase collective I/O layer, and a parameterized
+// Blue Gene/P machine model (3D torus, tree network, striped parallel
+// file system) that regenerates the paper's tables and figures.
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// comparison. The benchmarks in bench_test.go regenerate each exhibit:
+//
+//	go test -bench=Fig3 -benchtime=1x .
+package bgpvr

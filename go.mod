@@ -1,0 +1,3 @@
+module bgpvr
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV, §V): each Fig*/Table* function runs the corresponding
+// experiment on the machine model (or in real mode where the paper's
+// experiment is laptop-sized), returns the structured series, and
+// renders a text report whose rows mirror what the paper plots. The
+// cmd/experiments binary prints the reports; bench_test.go wraps the
+// same functions as testing.B benchmarks; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"bgpvr/internal/stats"
+)
+
+// ProcSweep is the paper's core-count axis (Fig 3, 6, 7).
+var ProcSweep = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// LargeProcSweep is the Table II axis.
+var LargeProcSweep = []int{8192, 16384, 32768}
+
+// Table renders rows of columns with a header, aligned.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// f formats a float compactly.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// mbps formats bytes/s as MB/s (decimal, as the paper's Fig 4/7 axes).
+func mbps(bw float64) string { return fmt.Sprintf("%.0f", bw/1e6) }
+
+// gbps formats bytes/s as GB/s (decimal, as Table II).
+func gbps(bw float64) string { return fmt.Sprintf("%.2f", bw/1e9) }
+
+// seconds delegates to stats for consistency.
+func secs(s float64) string { return stats.Seconds(s) }
+
+// Table1 reproduces the paper's Table I — the literature survey of
+// published parallel volume rendering scales. It is static background
+// data, included so `cmd/experiments -exp table1` covers every numbered
+// exhibit.
+func Table1() string {
+	t := Table{
+		Title:   "Table I: published parallel volume rendering system scales",
+		Columns: []string{"Dataset", "CPUs", "GElements", "Image", "Year"},
+	}
+	t.AddRow("Fire", "64", "14", "800^2", "2007")
+	t.AddRow("Blast Wave", "128", "27", "1024^2", "2006")
+	t.AddRow("Taylor-Raleigh", "128", "1", "1024^2", "2001")
+	t.AddRow("Molecular Dynamics", "256", "0.14", "1024^2", "2006")
+	t.AddRow("Earthquake", "2048", "1.2", "1024^2", "2007")
+	t.AddRow("Supernova", "4096", "0.65", "1600^2", "2008")
+	t.AddRow("Supernova (this work)", "32768", "90", "4096^2", "2009")
+	return t.String()
+}

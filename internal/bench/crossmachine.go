@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpvr/internal/core"
+	"bgpvr/internal/machine"
+)
+
+// CrossMachine runs the 1120^3 frame on the Blue Gene/P and Cray XT
+// models side by side — the paper's future-work comparison ("similar
+// experiments on other supercomputer systems such as the Cray XT").
+func CrossMachine() (string, error) {
+	scene, err := core.PaperScene(1120)
+	if err != nil {
+		return "", err
+	}
+	machines := []struct {
+		name string
+		m    machine.Machine
+	}{
+		{"IBM Blue Gene/P", machine.NewBGP()},
+		{"Cray XT4 (Lustre)", machine.NewCrayXT()},
+	}
+	t := Table{
+		Title:   "Cross-machine: 1120^3 raw / 1600^2 frame (seconds)",
+		Columns: []string{"machine", "procs", "I/O", "render", "composite", "total"},
+	}
+	for _, mm := range machines {
+		for _, p := range []int{1024, 8192, 32768} {
+			r, err := core.RunModel(core.ModelConfig{
+				Scene: scene, Procs: p, Format: core.FormatRaw, Machine: mm.m})
+			if err != nil {
+				return "", err
+			}
+			t.AddRow(mm.name, fmt.Sprint(p), f2(r.Times.IO), f2(r.Times.Render),
+				f3(r.Times.Composite), f2(r.Times.Total))
+		}
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpvr/internal/core"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/mpiio"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/volume"
+)
+
+// IOSignature studies "the striping pattern across I/O servers" the
+// paper's §VI names as ongoing work: for each I/O mode, the planned
+// physical accesses are folded over the striped file servers and the
+// per-server load distribution is reported. Interleaved record formats
+// concentrate their (fewer useful) bytes the same way striping spreads
+// any large read, so the interesting signal is how the *overhead* bytes
+// inflate every server's load.
+func IOSignature(mach machine.Machine) (string, error) {
+	scene, err := core.PaperScene(1120)
+	if err != nil {
+		return "", err
+	}
+	scene.Variable = volume.VarPressure
+	recSize := int64(scene.Dims.X) * int64(scene.Dims.Y) * 4
+	aggs := mach.Aggregators(2048)
+
+	modes := []struct {
+		name   string
+		format core.Format
+		window int64
+	}{
+		{"raw", core.FormatRaw, 0},
+		{"netCDF untuned", core.FormatNetCDF, 0},
+		{"netCDF tuned", core.FormatNetCDF, recSize},
+		{"HDF5-like", core.FormatH5, 0},
+	}
+	t := Table{
+		Title:   "I/O signature: per-server load of one collective read (2K cores, 136 servers)",
+		Columns: []string{"mode", "GB total", "mean MB/server", "max/mean", "busy servers", "mean seek MB"},
+	}
+	for _, m := range modes {
+		union, err := core.UnionRuns(m.format, scene)
+		if err != nil {
+			return "", err
+		}
+		plan := mpiio.BuildPlan(union, mpiio.Hints{CBBufferSize: m.window, CBNodes: aggs})
+		loads := mach.Storage.ServerLoads(plan.Accesses)
+		var sum stats.Summary
+		busy := 0
+		var total int64
+		for _, l := range loads {
+			total += l
+			if l > 0 {
+				busy++
+				sum.Add(float64(l))
+			}
+		}
+		t.AddRow(m.name,
+			fmt.Sprintf("%.1f", float64(total)/1e9),
+			fmt.Sprintf("%.0f", sum.Mean()/1e6),
+			fmt.Sprintf("%.2f", sum.Imbalance()),
+			fmt.Sprint(busy),
+			fmt.Sprintf("%.1f", plan.Stats().MeanSeek/1e6))
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+
+	"bgpvr/internal/compose"
+	"bgpvr/internal/core"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/render"
+)
+
+// AblationPlacement times the direct-send compositing phase under the
+// three rank placements, for the original and improved schemes — how
+// much of the compositing story is node locality.
+func AblationPlacement(mach machine.Machine, procs int) (string, error) {
+	scene, err := core.PaperScene(1120)
+	if err != nil {
+		return "", err
+	}
+	cam := scene.Camera()
+	d := grid.NewDecomp(scene.Dims, procs)
+	rects := make([]img.Rect, procs)
+	for r := range rects {
+		rects[r] = render.ProjectedRect(cam, d.BlockExtent(r))
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Ablation: rank placement, direct-send at %d cores (time in s)", procs),
+		Columns: []string{"placement", "original (m=n)", "improved"},
+	}
+	for _, pl := range []machine.Placement{machine.PlacementBlock, machine.PlacementRoundRobin, machine.PlacementRandom} {
+		orig := compose.DirectSendSchedule(rects, scene.ImageW, scene.ImageH, procs, compose.PixelBytes)
+		impr := compose.DirectSendSchedule(rects, scene.ImageW, scene.ImageH,
+			machine.ImprovedCompositors(procs), compose.PixelBytes)
+		to := mach.PhaseOnTorusPlaced(procs, orig, true, pl)
+		ti := mach.PhaseOnTorusPlaced(procs, impr, true, pl)
+		t.AddRow(pl.String(), f3(to.Time), f3(ti.Time))
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,60 @@
+package comm
+
+// Nonblocking operations, mirroring MPI_Isend/MPI_Irecv/MPI_Wait.
+// Send is already buffered (eager), so Isend completes immediately;
+// Irecv arms a background matcher whose result Wait collects. They
+// exist so communication can overlap local work the way the paper's
+// renderer could overlap compositing (a future-work direction), and so
+// pairwise exchanges can be written without ordering deadlocks.
+
+// Request is a handle on an outstanding nonblocking operation.
+type Request struct {
+	done chan struct{}
+	src  int
+	data []byte
+}
+
+// Wait blocks until the operation completes and returns the matched
+// source and payload (the send's own arguments for an Isend).
+func (r *Request) Wait() (src int, data []byte) {
+	<-r.done
+	return r.src, r.data
+}
+
+// Isend starts a nonblocking send. The runtime's sends are eager, so
+// the request is already complete; it exists for API symmetry.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	c.Send(dst, tag, data)
+	r := &Request{done: make(chan struct{}), src: c.rank, data: data}
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive; Wait returns its message. Two
+// outstanding Irecvs with overlapping matching race for messages in
+// arrival order, as in MPI.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.src, r.data = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request.
+func WaitAll(rs ...*Request) {
+	for _, r := range rs {
+		<-r.done
+	}
+}
+
+// Sendrecv performs the classic paired exchange: send data to dst with
+// stag while receiving one message from src with rtag, immune to the
+// ordering deadlocks a naive Send-then-Recv pair can hit on runtimes
+// with synchronous sends.
+func (c *Comm) Sendrecv(dst, stag int, data []byte, src, rtag int) (from int, got []byte) {
+	rr := c.Irecv(src, rtag)
+	c.Send(dst, stag, data)
+	return rr.Wait()
+}

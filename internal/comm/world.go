@@ -1,0 +1,184 @@
+// Package comm is the message-passing substrate that stands in for MPI:
+// a World of ranks, each executing on its own goroutine, exchanging
+// tagged point-to-point messages and running collective operations
+// (barrier, broadcast, reduce, allreduce, gather, all-to-all) built on
+// the same binomial/dissemination algorithms MPI implementations use.
+//
+// Real mode executes the actual algorithms with real data at laptop
+// scale; the model mode of the experiments reuses the identical message
+// *schedules* (who sends how many bytes to whom) and times them on the
+// machine model instead. The World therefore records a per-rank traffic
+// log that both modes share.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// message is one in-flight point-to-point message.
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// mailbox holds undelivered messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// TrafficStats aggregates the messages a World has carried.
+type TrafficStats struct {
+	Messages   int
+	TotalBytes int64
+}
+
+// World is a communicator over a fixed number of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	statMu sync.Mutex
+	stats  TrafficStats
+}
+
+// NewWorld creates a communicator with p ranks. p must be >= 1.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic("comm: NewWorld requires p >= 1")
+	}
+	w := &World{size: p, boxes: make([]*mailbox, p)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the cumulative traffic carried so far.
+func (w *World) Stats() TrafficStats {
+	w.statMu.Lock()
+	defer w.statMu.Unlock()
+	return w.stats
+}
+
+// ResetStats zeroes the traffic counters (used between pipeline stages).
+func (w *World) ResetStats() {
+	w.statMu.Lock()
+	defer w.statMu.Unlock()
+	w.stats = TrafficStats{}
+}
+
+// Run executes fn concurrently on every rank and waits for all of them.
+// The first non-nil error (or recovered panic) is returned; remaining
+// ranks still run to completion unless they block forever on a rank that
+// died — to avoid that, a dying rank closes every mailbox, causing
+// blocked Recvs to panic with a clear message rather than deadlock.
+func (w *World) Run(fn func(c *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+					w.abort()
+				}
+			}()
+			if err := fn(&Comm{w: w, rank: rank}); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abort wakes all blocked receivers so a failed run terminates.
+func (w *World) abort() {
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.closed = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// Comm is one rank's handle on the World.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send delivers data to rank dst with the given tag. It never blocks
+// (buffered, like an eager-protocol MPI_Send). The data slice is owned
+// by the receiver after the call; the caller must not modify it.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.w.size {
+		panic(fmt.Sprintf("comm: Send to invalid rank %d", dst))
+	}
+	c.w.statMu.Lock()
+	c.w.stats.Messages++
+	c.w.stats.TotalBytes += int64(len(data))
+	c.w.statMu.Unlock()
+
+	b := c.w.boxes[dst]
+	b.mu.Lock()
+	b.pending = append(b.pending, message{src: c.rank, tag: tag, data: data})
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (or from anyone, when src == AnySource) and returns its source and
+// payload. Messages from the same source with the same tag are received
+// in the order they were sent; other messages may overtake.
+func (c *Comm) Recv(src, tag int) (from int, data []byte) {
+	b := c.w.boxes[c.rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.pending {
+			if m.tag != tag {
+				continue
+			}
+			if src != AnySource && m.src != src {
+				continue
+			}
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return m.src, m.data
+		}
+		if b.closed {
+			panic("comm: Recv on aborted world")
+		}
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,144 @@
+package compose
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/img"
+	"bgpvr/internal/render"
+)
+
+// BinarySwap composites with the binary-swap algorithm (Ma et al. 1994),
+// the classic tree-structured baseline the paper contrasts with
+// direct-send. p must be a power of two. Ranks are permuted into
+// front-to-back visibility order; in each of log2(p) rounds a pair of
+// ranks splits its current image region in half, exchanges halves, and
+// composites, so each rank finishes owning 1/p of the image. The final
+// image is gathered on rank 0 (nil elsewhere).
+func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img.Image, error) {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("compose: binary swap requires a power-of-two process count, got %d", p)
+	}
+	pos := make([]int, p)    // rank -> visibility position (virtual rank)
+	rankAt := make([]int, p) // virtual rank -> rank
+	for k, r := range order {
+		pos[r] = k
+		rankAt[k] = r
+	}
+	vr := pos[c.Rank()]
+
+	// Start with my partial image placed in a full-frame buffer.
+	span := img.Span{Lo: 0, Hi: w * h}
+	buf := make([]img.RGBA, w*h)
+	rows := img.RectSpanRows(sub.Rect, w)
+	for ri, row := range rows {
+		copy(buf[row.Lo:row.Hi], sub.Pix[ri*sub.Rect.W():(ri+1)*sub.Rect.W()])
+	}
+
+	for round := 1; round < p; round <<= 1 {
+		partner := vr ^ round
+		mid := span.Lo + span.Len()/2
+		var keep, give img.Span
+		if vr&round == 0 {
+			keep, give = img.Span{Lo: span.Lo, Hi: mid}, img.Span{Lo: mid, Hi: span.Hi}
+		} else {
+			keep, give = img.Span{Lo: mid, Hi: span.Hi}, img.Span{Lo: span.Lo, Hi: mid}
+		}
+		// Send the half the partner keeps; receive mine.
+		out := make([]float32, 0, 4*give.Len())
+		for k := give.Lo; k < give.Hi; k++ {
+			px := buf[k]
+			out = append(out, px.R, px.G, px.B, px.A)
+		}
+		c.Send(rankAt[partner], tagBinarySwap+bits.TrailingZeros(uint(round)), comm.F32sToBytes(out))
+		_, b := c.Recv(rankAt[partner], tagBinarySwap+bits.TrailingZeros(uint(round)))
+		vals := comm.BytesToF32s(b)
+		// Composite: the lower virtual rank is nearer (front).
+		iAmFront := vr < partner
+		for k := 0; k < keep.Len(); k++ {
+			theirs := img.RGBA{R: vals[4*k], G: vals[4*k+1], B: vals[4*k+2], A: vals[4*k+3]}
+			mine := buf[keep.Lo+k]
+			if iAmFront {
+				buf[keep.Lo+k] = img.Over(mine, theirs)
+			} else {
+				buf[keep.Lo+k] = img.Over(theirs, mine)
+			}
+		}
+		span = keep
+	}
+
+	// Gather the 1/p spans at rank 0.
+	payload := make([]float32, 0, 4*span.Len())
+	for k := span.Lo; k < span.Hi; k++ {
+		px := buf[k]
+		payload = append(payload, px.R, px.G, px.B, px.A)
+	}
+	enc := append(comm.I64sToBytes([]int64{int64(span.Lo)}), comm.F32sToBytes(payload)...)
+	c.Send(0, tagSpanGather, enc)
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	outImg := img.New(w, h)
+	for received := 0; received < p; received++ {
+		_, b := c.Recv(comm.AnySource, tagSpanGather)
+		lo := int(comm.BytesToI64s(b[:8])[0])
+		vals := comm.BytesToF32s(b[8:])
+		for k := 0; k < len(vals)/4; k++ {
+			outImg.Pix[lo+k] = img.RGBA{R: vals[4*k], G: vals[4*k+1], B: vals[4*k+2], A: vals[4*k+3]}
+		}
+	}
+	return outImg, nil
+}
+
+// SerialGather is the naive baseline: rank 0 receives every partial
+// image whole and composites them serially in visibility order.
+func SerialGather(c *comm.Comm, sub *render.Subimage, rects []img.Rect, w, h int, order []int) (*img.Image, error) {
+	p := c.Size()
+	if len(rects) != p {
+		return nil, fmt.Errorf("compose: need %d rects, got %d", p, len(rects))
+	}
+	if c.Rank() != 0 {
+		if !sub.Rect.Empty() {
+			body := make([]float32, 0, 4*len(sub.Pix))
+			for _, px := range sub.Pix {
+				body = append(body, px.R, px.G, px.B, px.A)
+			}
+			c.Send(0, tagDirectSend, comm.F32sToBytes(body))
+		}
+		return nil, nil
+	}
+	subs := make([][]img.RGBA, p)
+	subs[0] = sub.Pix
+	for r := 1; r < p; r++ {
+		if rects[r].Empty() {
+			continue
+		}
+		src, b := c.Recv(comm.AnySource, tagDirectSend)
+		vals := comm.BytesToF32s(b)
+		pix := make([]img.RGBA, len(vals)/4)
+		for i := range pix {
+			pix[i] = img.RGBA{R: vals[4*i], G: vals[4*i+1], B: vals[4*i+2], A: vals[4*i+3]}
+		}
+		subs[src] = pix
+	}
+	out := img.New(w, h)
+	for _, r := range order { // front-to-back
+		if rects[r].Empty() || subs[r] == nil {
+			continue
+		}
+		rect := rects[r]
+		i := 0
+		for y := rect.Y0; y < rect.Y1; y++ {
+			for x := rect.X0; x < rect.X1; x++ {
+				b := subs[r][i]
+				i++
+				a := out.At(x, y)
+				t := 1 - a.A
+				out.Set(x, y, img.RGBA{R: a.R + t*b.R, G: a.G + t*b.G, B: a.B + t*b.B, A: a.A + t*b.A})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+// Package compose implements the paper's image compositing stage.
+//
+// The primary algorithm is direct-send (Hsu 1993): of the n rendering
+// processes, m <= n compositor processes each own a rectangular tile
+// covering 1/m of the final image, and every renderer sends each
+// compositor the fragment of its partial image that overlaps the
+// compositor's tile. A tile overlaps roughly one column of projected
+// blocks, which is where the paper's O(m * n^(1/3)) total message count
+// comes from. The paper's contribution is that m need not equal n: at
+// large n, limiting m (1K compositors for 1K-4K renderers, 2K beyond)
+// keeps messages large and few enough that the network stays near peak —
+// a 30x compositing speedup at 32K cores (Fig 3/4).
+//
+// Binary swap (Ma et al. 1994) and a serial gather are provided as
+// baselines for the ablation benchmarks.
+//
+// Every algorithm is written twice in one body: the real execution runs
+// over the comm runtime and moves actual pixels; the Schedule functions
+// emit the identical message lists (source, destination, bytes) for the
+// network model to time at scales where pixels are not materialized.
+package compose
+
+import (
+	"fmt"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/img"
+	"bgpvr/internal/render"
+)
+
+// PixelBytes is the wire size of one composited pixel in the modeled
+// schedules. The paper's message sizes (Fig 4: 1600^2 x 4 B / m) imply
+// 4-byte RGBA pixels on the wire; the real-mode runtime moves float32
+// pixels instead, and the model uses this constant so message sizes
+// match the paper's.
+const PixelBytes = 4
+
+// CompRank returns the world rank acting as compositor i of m among p
+// ranks, spread evenly (compositors are a subset of the renderers, as in
+// the paper).
+func CompRank(i, m, p int) int { return i * p / m }
+
+// RankMessage is one compositing transfer between ranks.
+type RankMessage struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// DirectSendSchedule returns the messages of a direct-send composite:
+// renderer r sends compositor i the overlap of rect[r] with tile i.
+// Only the tiles a rect actually touches are probed, so the cost is
+// O(messages), not O(p*m) — at 32K renderers with 32K compositors the
+// difference is a billion intersections.
+func DirectSendSchedule(rects []img.Rect, w, h, m int, pixBytes int64) []RankMessage {
+	p := len(rects)
+	g := img.NewTileGrid(w, h, m)
+	var msgs []RankMessage
+	for r, rect := range rects {
+		tx0, tx1, ty0, ty1 := g.Range(rect)
+		for ty := ty0; ty < ty1; ty++ {
+			for tx := tx0; tx < tx1; tx++ {
+				i := ty*g.MX + tx
+				if ov := rect.Intersect(g.Tile(i)); !ov.Empty() {
+					msgs = append(msgs, RankMessage{
+						Src: r, Dst: CompRank(i, m, p),
+						Bytes: int64(ov.NumPixels()) * pixBytes,
+					})
+				}
+			}
+		}
+	}
+	return msgs
+}
+
+// GatherSchedule returns the messages of the trivial baseline: every
+// renderer sends its whole rectangle to rank 0.
+func GatherSchedule(rects []img.Rect, pixBytes int64) []RankMessage {
+	var msgs []RankMessage
+	for r, rect := range rects {
+		if r == 0 || rect.Empty() {
+			continue
+		}
+		msgs = append(msgs, RankMessage{Src: r, Dst: 0, Bytes: int64(rect.NumPixels()) * pixBytes})
+	}
+	return msgs
+}
+
+// BinarySwapSchedule returns the messages of binary swap over p ranks
+// (p must be a power of two): log2(p) rounds of pairwise half-image
+// exchanges. Classic binary swap exchanges full image halves regardless
+// of content.
+func BinarySwapSchedule(p, w, h int, pixBytes int64) ([]RankMessage, error) {
+	if p&(p-1) != 0 || p == 0 {
+		return nil, fmt.Errorf("compose: binary swap requires a power-of-two process count, got %d", p)
+	}
+	var msgs []RankMessage
+	part := int64(w*h) * pixBytes
+	for round := 1; round < p; round <<= 1 {
+		part /= 2
+		for r := 0; r < p; r++ {
+			msgs = append(msgs, RankMessage{Src: r, Dst: r ^ round, Bytes: part})
+		}
+	}
+	return msgs, nil
+}
+
+// Tags used by the executors.
+const (
+	tagDirectSend = 100
+	tagSpanGather = 101
+	tagBinarySwap = 110 // + round
+)
+
+// Fragment wire formats. The dense format carries every pixel of the
+// overlap rect; the active-pixel format (an IceT-style optimization)
+// carries only runs of non-transparent pixels, which shrinks messages
+// dramatically for blocks whose bounding rectangle is mostly empty.
+// The encoder picks whichever is smaller, so the optimization is always
+// safe; a leading mode word keeps the receiver format-agnostic.
+const (
+	fragDense  = 0
+	fragActive = 1
+)
+
+// encodeFragment serializes the overlap of a subimage with a tile.
+func encodeFragment(sub *render.Subimage, ov img.Rect) []byte {
+	n := ov.NumPixels()
+	pix := make([]img.RGBA, 0, n)
+	for y := ov.Y0; y < ov.Y1; y++ {
+		for x := ov.X0; x < ov.X1; x++ {
+			pix = append(pix, sub.At(x, y))
+		}
+	}
+	// Find active runs.
+	type runSeg struct{ lo, hi int }
+	var segs []runSeg
+	active := 0
+	for i := 0; i < n; {
+		if (pix[i] == img.RGBA{}) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && (pix[j] != img.RGBA{}) {
+			j++
+		}
+		segs = append(segs, runSeg{i, j})
+		active += j - i
+		i = j
+	}
+	denseBytes := 5*8 + 16*n
+	activeBytes := 6*8 + 16*len(segs) + 16*active
+	head := []int64{fragDense, int64(ov.X0), int64(ov.Y0), int64(ov.X1), int64(ov.Y1)}
+	if activeBytes < denseBytes {
+		head[0] = fragActive
+		head = append(head, int64(len(segs)))
+		for _, s := range segs {
+			head = append(head, int64(s.lo), int64(s.hi))
+		}
+		body := make([]float32, 0, 4*active)
+		for _, s := range segs {
+			for _, p := range pix[s.lo:s.hi] {
+				body = append(body, p.R, p.G, p.B, p.A)
+			}
+		}
+		return append(comm.I64sToBytes(head), comm.F32sToBytes(body)...)
+	}
+	body := make([]float32, 0, 4*n)
+	for _, p := range pix {
+		body = append(body, p.R, p.G, p.B, p.A)
+	}
+	return append(comm.I64sToBytes(head), comm.F32sToBytes(body)...)
+}
+
+// fragment is a decoded incoming piece tagged with its sender.
+type fragment struct {
+	src  int
+	rect img.Rect
+	pix  []img.RGBA // len == rect.NumPixels(); transparent where inactive
+}
+
+func decodeFragment(src int, b []byte) fragment {
+	head := comm.BytesToI64s(b[:40])
+	mode := head[0]
+	f := fragment{src: src, rect: img.Rect{
+		X0: int(head[1]), Y0: int(head[2]), X1: int(head[3]), Y1: int(head[4]),
+	}}
+	n := f.rect.NumPixels()
+	f.pix = make([]img.RGBA, n)
+	if mode == fragDense {
+		vals := comm.BytesToF32s(b[40:])
+		for i := range f.pix {
+			f.pix[i] = img.RGBA{R: vals[4*i], G: vals[4*i+1], B: vals[4*i+2], A: vals[4*i+3]}
+		}
+		return f
+	}
+	nseg := comm.BytesToI64s(b[40:48])[0]
+	segs := comm.BytesToI64s(b[48 : 48+16*nseg])
+	vals := comm.BytesToF32s(b[48+16*nseg:])
+	vi := 0
+	for s := int64(0); s < nseg; s++ {
+		lo, hi := int(segs[2*s]), int(segs[2*s+1])
+		for i := lo; i < hi; i++ {
+			f.pix[i] = img.RGBA{R: vals[vi], G: vals[vi+1], B: vals[vi+2], A: vals[vi+3]}
+			vi += 4
+		}
+	}
+	return f
+}
+
+// DirectSend composites the partial images of all ranks with m
+// compositors owning one image tile each, and returns the final image on
+// rank 0 (nil elsewhere). It is the one-block-per-rank case of
+// DirectSendBlocks: rects[r] is rank r's subimage rectangle and order is
+// the front-to-back rank permutation; all ranks compute both from the
+// shared camera and decomposition, which is what makes direct-send need
+// no control messages — each compositor knows exactly which renderers
+// will send to it.
+func DirectSend(c *comm.Comm, sub *render.Subimage, rects []img.Rect, w, h, m int, order []int) (*img.Image, error) {
+	if len(rects) != c.Size() {
+		return nil, fmt.Errorf("compose: need %d rects, got %d", c.Size(), len(rects))
+	}
+	return DirectSendBlocks(c, []*render.Subimage{sub}, []int{c.Rank()}, rects, w, h, m, order)
+}

@@ -1,0 +1,68 @@
+package compose
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpvr/internal/img"
+	"bgpvr/internal/render"
+)
+
+// makeSub builds a subimage with a given fraction of active pixels.
+func makeSub(rect img.Rect, activeFrac float64, seed int64) *render.Subimage {
+	rng := rand.New(rand.NewSource(seed))
+	sub := &render.Subimage{Rect: rect, Pix: make([]img.RGBA, rect.NumPixels())}
+	for i := range sub.Pix {
+		if rng.Float64() < activeFrac {
+			a := rng.Float32()
+			sub.Pix[i] = img.RGBA{R: rng.Float32() * a, G: rng.Float32() * a, B: rng.Float32() * a, A: a}
+		}
+	}
+	return sub
+}
+
+// Round trip: decode(encode(sub, ov)) reproduces the overlap pixels for
+// any activity level (both wire formats).
+func TestFragmentCodecRoundTrip(t *testing.T) {
+	rect := img.Rect{X0: 3, Y0: 5, X1: 23, Y1: 17}
+	for _, frac := range []float64{0, 0.05, 0.5, 1} {
+		sub := makeSub(rect, frac, int64(frac*100)+1)
+		for _, ov := range []img.Rect{rect, {X0: 5, Y0: 6, X1: 12, Y1: 10}} {
+			f := decodeFragment(7, encodeFragment(sub, ov))
+			if f.src != 7 || f.rect != ov {
+				t.Fatalf("frac=%v: decoded rect %v, want %v", frac, f.rect, ov)
+			}
+			i := 0
+			for y := ov.Y0; y < ov.Y1; y++ {
+				for x := ov.X0; x < ov.X1; x++ {
+					if f.pix[i] != sub.At(x, y) {
+						t.Fatalf("frac=%v ov=%v: pixel (%d,%d) = %v, want %v",
+							frac, ov, x, y, f.pix[i], sub.At(x, y))
+					}
+					i++
+				}
+			}
+		}
+	}
+}
+
+// Sparse fragments compress; dense ones do not regress.
+func TestFragmentActivePixelCompression(t *testing.T) {
+	rect := img.Rect{X0: 0, Y0: 0, X1: 64, Y1: 64}
+	sparse := makeSub(rect, 0.02, 2)
+	dense := makeSub(rect, 0.98, 3)
+	sparseBytes := len(encodeFragment(sparse, rect))
+	denseBytes := len(encodeFragment(dense, rect))
+	full := 40 + 16*rect.NumPixels()
+	if sparseBytes > full/4 {
+		t.Errorf("sparse fragment %d bytes, full is %d — compression missing", sparseBytes, full)
+	}
+	if denseBytes > full {
+		t.Errorf("dense fragment %d bytes exceeds dense format %d", denseBytes, full)
+	}
+	// An entirely empty fragment is tiny.
+	empty := makeSub(rect, 0, 4)
+	if n := len(encodeFragment(empty, rect)); n > 64 {
+		t.Errorf("empty fragment = %d bytes", n)
+	}
+}

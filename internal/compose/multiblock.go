@@ -1,0 +1,152 @@
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/img"
+	"bgpvr/internal/render"
+)
+
+// Multi-block direct-send: the paper "statically allocates a small
+// number of blocks to each process" — more than one block per rank
+// round-robins the spatial load so no process owns only boundary or
+// only center blocks. Fragments are tagged with their block's
+// visibility position (not the sender's rank), so a compositor orders
+// pieces from the same rank's different blocks correctly.
+
+// encodeBlockFragment prefixes a fragment with its block's visibility
+// position.
+func encodeBlockFragment(pos int64, sub *render.Subimage, ov img.Rect) []byte {
+	return append(comm.I64sToBytes([]int64{pos}), encodeFragment(sub, ov)...)
+}
+
+// DirectSendBlocks composites when each rank owns several blocks: subs
+// and blockIDs list this rank's rendered blocks; rects holds every
+// block's projected rectangle (indexed by block id); order is the
+// front-to-back permutation of *block ids*. The final image lands on
+// rank 0.
+func DirectSendBlocks(c *comm.Comm, subs []*render.Subimage, blockIDs []int,
+	rects []img.Rect, w, h, m int, order []int) (*img.Image, error) {
+
+	p := c.Size()
+	if m < 1 || m > p {
+		return nil, fmt.Errorf("compose: m=%d must be in [1, %d]", m, p)
+	}
+	if len(subs) != len(blockIDs) {
+		return nil, fmt.Errorf("compose: %d subimages for %d blocks", len(subs), len(blockIDs))
+	}
+	nblocks := len(rects)
+	if len(order) != nblocks {
+		return nil, fmt.Errorf("compose: order lists %d blocks, rects %d", len(order), nblocks)
+	}
+	pos := make([]int64, nblocks)
+	for k, b := range order {
+		pos[b] = int64(k)
+	}
+	tiles := img.PartitionTiles(w, h, m)
+
+	// Send each of my blocks' overlaps.
+	for i, sub := range subs {
+		for ti, tile := range tiles {
+			if ov := sub.Rect.Intersect(tile); !ov.Empty() {
+				c.Send(CompRank(ti, m, p), tagDirectSend, encodeBlockFragment(pos[blockIDs[i]], sub, ov))
+			}
+		}
+	}
+
+	// Composite my tiles.
+	for ti, tile := range tiles {
+		if CompRank(ti, m, p) != c.Rank() {
+			continue
+		}
+		expected := 0
+		for _, rect := range rects {
+			if !rect.Intersect(tile).Empty() {
+				expected++
+			}
+		}
+		type posFrag struct {
+			pos  int64
+			frag fragment
+		}
+		frags := make([]posFrag, 0, expected)
+		for k := 0; k < expected; k++ {
+			src, b := c.Recv(comm.AnySource, tagDirectSend)
+			frags = append(frags, posFrag{
+				pos:  comm.BytesToI64s(b[:8])[0],
+				frag: decodeFragment(src, b[8:]),
+			})
+		}
+		sort.Slice(frags, func(a, b int) bool { return frags[a].pos < frags[b].pos })
+		acc := make([]img.RGBA, tile.NumPixels())
+		tw := tile.W()
+		for _, pf := range frags {
+			f := pf.frag
+			fi := 0
+			for y := f.rect.Y0; y < f.rect.Y1; y++ {
+				row := (y - tile.Y0) * tw
+				for x := f.rect.X0; x < f.rect.X1; x++ {
+					b := f.pix[fi]
+					fi++
+					a := &acc[row+(x-tile.X0)]
+					t := 1 - a.A
+					a.R += t * b.R
+					a.G += t * b.G
+					a.B += t * b.B
+					a.A += t * b.A
+				}
+			}
+		}
+		body := make([]float32, 0, 4*len(acc))
+		for _, px := range acc {
+			body = append(body, px.R, px.G, px.B, px.A)
+		}
+		payload := append(comm.I64sToBytes([]int64{int64(ti)}), comm.F32sToBytes(body)...)
+		c.Send(0, tagSpanGather, payload)
+	}
+
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	out := img.New(w, h)
+	for received := 0; received < m; received++ {
+		_, b := c.Recv(comm.AnySource, tagSpanGather)
+		idx := comm.BytesToI64s(b[:8])[0]
+		tile := tiles[idx]
+		vals := comm.BytesToF32s(b[8:])
+		k := 0
+		for y := tile.Y0; y < tile.Y1; y++ {
+			for x := tile.X0; x < tile.X1; x++ {
+				out.Set(x, y, img.RGBA{R: vals[4*k], G: vals[4*k+1], B: vals[4*k+2], A: vals[4*k+3]})
+				k++
+			}
+		}
+	}
+	return out, nil
+}
+
+// MultiBlockSchedule returns the direct-send message schedule when
+// nblocks blocks are assigned round-robin to p ranks (block b on rank
+// b mod p).
+func MultiBlockSchedule(rects []img.Rect, p, w, h, m int, pixBytes int64) []RankMessage {
+	g := img.NewTileGrid(w, h, m)
+	var msgs []RankMessage
+	for b, rect := range rects {
+		src := b % p
+		tx0, tx1, ty0, ty1 := g.Range(rect)
+		for ty := ty0; ty < ty1; ty++ {
+			for tx := tx0; tx < tx1; tx++ {
+				i := ty*g.MX + tx
+				if ov := rect.Intersect(g.Tile(i)); !ov.Empty() {
+					msgs = append(msgs, RankMessage{
+						Src: src, Dst: CompRank(i, m, p),
+						Bytes: int64(ov.NumPixels()) * pixBytes,
+					})
+				}
+			}
+		}
+	}
+	return msgs
+}

@@ -1,0 +1,214 @@
+package compose
+
+import (
+	"fmt"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/img"
+	"bgpvr/internal/render"
+)
+
+// Radix-k compositing (Peterka, Goodell, Ross, Ma, Thakur — the direct
+// follow-on to this paper, SC'09) generalizes the two classic schemes:
+// the process count p is factored into rounds k = [k1, ..., kr] with
+// k1*...*kr == p; in round i the processes form groups of ki members
+// that partition their current image region into ki pieces and
+// direct-send within the group. k = [p] is pure direct-send in one
+// round; k = [2, 2, ...] is binary swap. Intermediate factorings trade
+// message count against round count, which is exactly the knob this
+// paper's m-compositor limit foreshadows.
+
+// RadixKFactor returns the default factorization of p for the given
+// target radix: greedy factors of min(target, remaining), falling back
+// to the smallest prime factor when target does not divide the rest.
+func RadixKFactor(p, target int) []int {
+	if p <= 1 {
+		return []int{1}
+	}
+	if target < 2 {
+		target = 2
+	}
+	var ks []int
+	rest := p
+	for rest > 1 {
+		k := 0
+		for cand := min(target, rest); cand >= 2; cand-- {
+			if rest%cand == 0 {
+				k = cand
+				break
+			}
+		}
+		if k == 0 {
+			// rest is prime and larger than target.
+			k = smallestFactor(rest)
+		}
+		ks = append(ks, k)
+		rest /= k
+	}
+	return ks
+}
+
+func smallestFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// validateRadix checks that the factors multiply to p.
+func validateRadix(p int, ks []int) error {
+	prod := 1
+	for _, k := range ks {
+		if k < 1 {
+			return fmt.Errorf("compose: radix factor %d < 1", k)
+		}
+		prod *= k
+	}
+	if prod != p {
+		return fmt.Errorf("compose: radix factors %v multiply to %d, want %d", ks, prod, p)
+	}
+	return nil
+}
+
+// RadixKSchedule returns the message schedule of radix-k over p ranks:
+// in round i, each rank sends ki-1 messages of its current region's
+// 1/ki share.
+func RadixKSchedule(p, w, h int, ks []int, pixBytes int64) ([]RankMessage, error) {
+	if err := validateRadix(p, ks); err != nil {
+		return nil, err
+	}
+	var msgs []RankMessage
+	region := int64(w*h) * pixBytes
+	stride := 1
+	for _, k := range ks {
+		if k == 1 {
+			continue
+		}
+		piece := region / int64(k)
+		for r := 0; r < p; r++ {
+			digit := (r / stride) % k
+			base := r - digit*stride
+			for d := 0; d < k; d++ {
+				if d == digit {
+					continue
+				}
+				msgs = append(msgs, RankMessage{Src: r, Dst: base + d*stride, Bytes: piece})
+			}
+		}
+		region = piece
+		stride *= k
+	}
+	return msgs, nil
+}
+
+// RadixK composites with the radix-k algorithm and returns the final
+// image on rank 0 (nil elsewhere). ks must multiply to the world size;
+// order is the shared front-to-back visibility permutation.
+func RadixK(c *comm.Comm, sub *render.Subimage, w, h int, ks []int, order []int) (*img.Image, error) {
+	p := c.Size()
+	if err := validateRadix(p, ks); err != nil {
+		return nil, err
+	}
+	pos := make([]int, p)
+	rankAt := make([]int, p)
+	for i, r := range order {
+		pos[r] = i
+		rankAt[i] = r
+	}
+	vr := pos[c.Rank()]
+
+	// Start with the full frame holding my partial image.
+	span := img.Span{Lo: 0, Hi: w * h}
+	buf := make([]img.RGBA, w*h)
+	for ri, row := range img.RectSpanRows(sub.Rect, w) {
+		copy(buf[row.Lo:row.Hi], sub.Pix[ri*sub.Rect.W():(ri+1)*sub.Rect.W()])
+	}
+
+	stride := 1
+	for round, k := range ks {
+		if k == 1 {
+			continue
+		}
+		digit := (vr / stride) % k
+		base := vr - digit*stride
+		// Pieces of my current span, one per group member.
+		pieces := img.PartitionSpans(span.Len(), k)
+		myPiece := img.Span{Lo: span.Lo + pieces[digit].Lo, Hi: span.Lo + pieces[digit].Hi}
+		tag := tagBinarySwap + 64 + round
+
+		// Send every other member its piece of my buffer.
+		for d := 0; d < k; d++ {
+			if d == digit {
+				continue
+			}
+			pc := img.Span{Lo: span.Lo + pieces[d].Lo, Hi: span.Lo + pieces[d].Hi}
+			out := make([]float32, 0, 4*pc.Len())
+			for i := pc.Lo; i < pc.Hi; i++ {
+				px := buf[i]
+				out = append(out, px.R, px.G, px.B, px.A)
+			}
+			c.Send(rankAt[base+d*stride], tag, comm.F32sToBytes(out))
+		}
+		// Receive k-1 versions of my piece and composite in group
+		// (visibility) order: lower digit = nearer.
+		frags := make([][]img.RGBA, k)
+		for recv := 0; recv < k-1; recv++ {
+			src, bts := c.Recv(comm.AnySource, tag)
+			vals := comm.BytesToF32s(bts)
+			pix := make([]img.RGBA, len(vals)/4)
+			for i := range pix {
+				pix[i] = img.RGBA{R: vals[4*i], G: vals[4*i+1], B: vals[4*i+2], A: vals[4*i+3]}
+			}
+			d := (pos[src] / stride) % k
+			frags[d] = pix
+		}
+		acc := make([]img.RGBA, myPiece.Len())
+		for d := 0; d < k; d++ {
+			var pix []img.RGBA
+			if d == digit {
+				pix = buf[myPiece.Lo:myPiece.Hi]
+			} else {
+				pix = frags[d]
+			}
+			if len(pix) != len(acc) {
+				return nil, fmt.Errorf("compose: radix-k piece length %d != %d", len(pix), len(acc))
+			}
+			for i := range acc {
+				a := &acc[i]
+				b := pix[i]
+				t := 1 - a.A
+				a.R += t * b.R
+				a.G += t * b.G
+				a.B += t * b.B
+				a.A += t * b.A
+			}
+		}
+		copy(buf[myPiece.Lo:myPiece.Hi], acc)
+		span = myPiece
+		stride *= k
+	}
+
+	// Gather the final 1/p spans on rank 0.
+	payload := make([]float32, 0, 4*span.Len())
+	for i := span.Lo; i < span.Hi; i++ {
+		px := buf[i]
+		payload = append(payload, px.R, px.G, px.B, px.A)
+	}
+	enc := append(comm.I64sToBytes([]int64{int64(span.Lo)}), comm.F32sToBytes(payload)...)
+	c.Send(0, tagSpanGather, enc)
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	out := img.New(w, h)
+	for received := 0; received < p; received++ {
+		_, bts := c.Recv(comm.AnySource, tagSpanGather)
+		lo := int(comm.BytesToI64s(bts[:8])[0])
+		vals := comm.BytesToF32s(bts[8:])
+		for i := 0; i < len(vals)/4; i++ {
+			out.Pix[lo+i] = img.RGBA{R: vals[4*i], G: vals[4*i+1], B: vals[4*i+2], A: vals[4*i+3]}
+		}
+	}
+	return out, nil
+}

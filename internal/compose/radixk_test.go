@@ -1,0 +1,117 @@
+package compose
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/render"
+)
+
+func TestRadixKFactor(t *testing.T) {
+	cases := []struct {
+		p, target int
+		want      []int
+	}{
+		{1, 4, []int{1}},
+		{8, 2, []int{2, 2, 2}},
+		{8, 8, []int{8}},
+		{12, 4, []int{4, 3}},
+		{6, 4, []int{3, 2}},
+		{7, 4, []int{7}}, // prime
+	}
+	for _, c := range cases {
+		got := RadixKFactor(c.p, c.target)
+		prod := 1
+		for _, k := range got {
+			prod *= k
+		}
+		if prod != c.p {
+			t.Errorf("RadixKFactor(%d,%d) = %v does not multiply to p", c.p, c.target, got)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("RadixKFactor(%d,%d) = %v, want %v", c.p, c.target, got, c.want)
+		}
+	}
+}
+
+func TestRadixKScheduleCounts(t *testing.T) {
+	// k=[p] is direct-send shape: p*(p-1) messages in one round.
+	msgs, err := RadixKSchedule(8, 64, 64, []int{8}, PixelBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 8*7 {
+		t.Errorf("k=[8] messages = %d, want 56", len(msgs))
+	}
+	// k=[2,2,2] matches binary swap counts and bytes.
+	rk, err := RadixKSchedule(8, 64, 64, []int{2, 2, 2}, PixelBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := BinarySwapSchedule(8, 64, 64, PixelBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rk) != len(bs) {
+		t.Fatalf("radix-2 %d messages, binary swap %d", len(rk), len(bs))
+	}
+	var rkB, bsB int64
+	for i := range rk {
+		rkB += rk[i].Bytes
+		bsB += bs[i].Bytes
+	}
+	if rkB != bsB {
+		t.Errorf("radix-2 bytes %d != binary swap %d", rkB, bsB)
+	}
+	// Bad factorization rejected.
+	if _, err := RadixKSchedule(8, 64, 64, []int{3, 3}, PixelBytes); err == nil {
+		t.Error("bad factorization accepted")
+	}
+}
+
+// Radix-k must reproduce the serial image for any factorization,
+// including mixed radices and non-powers of two.
+func TestRadixKMatchesSerial(t *testing.T) {
+	dims := grid.Cube(18)
+	const w, h = 32, 32
+	ortho, orthoEye, _, _ := cameras(18, w, h)
+	ref := serialReference(dims, ortho)
+	cases := []struct {
+		p  int
+		ks []int
+	}{
+		{1, []int{1}},
+		{4, []int{4}},
+		{8, []int{2, 2, 2}},
+		{8, []int{4, 2}},
+		{8, []int{2, 4}},
+		{12, []int{3, 2, 2}},
+		{12, []int{4, 3}},
+		{6, []int{6}},
+	}
+	for _, c := range cases {
+		got := runPipeline(t, dims, c.p, c.p, w, h, ortho, orthoEye,
+			func(cm *comm.Comm, sub *render.Subimage, rects []img.Rect, w, h, m int, order []int) (*img.Image, error) {
+				return RadixK(cm, sub, w, h, c.ks, order)
+			})
+		if d := img.MaxDiff(got, ref); d > 2e-5 {
+			t.Errorf("p=%d ks=%v: max diff %v", c.p, c.ks, d)
+		}
+	}
+}
+
+func TestRadixKRejectsBadFactors(t *testing.T) {
+	w := comm.NewWorld(4)
+	err := w.Run(func(c *comm.Comm) error {
+		if _, err := RadixK(c, &render.Subimage{}, 8, 8, []int{3}, []int{0, 1, 2, 3}); err == nil {
+			return fmt.Errorf("bad factors accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

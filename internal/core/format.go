@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"bgpvr/internal/grid"
+	"bgpvr/internal/h5lite"
+	"bgpvr/internal/netcdf"
+	"bgpvr/internal/rawfmt"
+	"bgpvr/internal/vfile"
+	"bgpvr/internal/volume"
+)
+
+// Format selects how a time step is stored on disk — the five I/O modes
+// of Fig 10 plus in-memory generation (the in-situ case).
+type Format int
+
+// The storage formats studied in §V.
+const (
+	// FormatGenerate synthesizes the data in memory (no I/O stage).
+	FormatGenerate Format = iota
+	// FormatRaw is a bare float32 array of one variable.
+	FormatRaw
+	// FormatNetCDF is the VH-1 layout: five record variables in a
+	// classic (CDF-2) file, records interleaved per Fig 8.
+	FormatNetCDF
+	// FormatCDF5 stores five fixed (nonrecord) variables in a CDF-5
+	// 64-bit-data file — the paper's "new netCDF" with contiguous
+	// variables.
+	FormatCDF5
+	// FormatH5 is the HDF5-like container: contiguous datasets plus
+	// small scattered metadata.
+	FormatH5
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatGenerate:
+		return "generate"
+	case FormatRaw:
+		return "raw"
+	case FormatNetCDF:
+		return "netcdf-record"
+	case FormatCDF5:
+		return "netcdf-cdf5"
+	case FormatH5:
+		return "h5lite"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// varNames returns the five VH-1 variable names.
+func varNames() []string {
+	names := make([]string, volume.NumVars)
+	for v := volume.Var(0); v < volume.NumVars; v++ {
+		names[v] = v.Name()
+	}
+	return names
+}
+
+// WriteSceneFile materializes the scene's time step at path in the given
+// format (raw stores only the scene variable; the multivariate formats
+// store all five variables, as VH-1 does).
+func WriteSceneFile(path string, f Format, s Scene) error {
+	sn := s.Supernova()
+	dims := s.Dims
+	switch f {
+	case FormatRaw:
+		return rawfmt.WriteFunc(path, dims, func(x, y, z int) float32 {
+			return sn.Eval(s.Variable, dims, x, y, z)
+		})
+	case FormatNetCDF, FormatCDF5:
+		ver, record := netcdf.V2, true
+		if f == FormatCDF5 {
+			ver, record = netcdf.V5, false
+		}
+		nf, err := netcdf.NewVolumeFile(ver, dims, varNames(), record)
+		if err != nil {
+			return err
+		}
+		return netcdf.WriteFile(path, nf, func(varIdx int, rec int64) []float32 {
+			v := volume.Var(varIdx)
+			if rec < 0 {
+				return sn.GenerateFull(v, dims).Data
+			}
+			vals := make([]float32, dims.X*dims.Y)
+			i := 0
+			for y := 0; y < dims.Y; y++ {
+				for x := 0; x < dims.X; x++ {
+					vals[i] = sn.Eval(v, dims, x, y, int(rec))
+					i++
+				}
+			}
+			return vals
+		})
+	case FormatH5:
+		return h5lite.Write(path, dims, varNames(), func(v, x, y, z int) float32 {
+			return sn.Eval(volume.Var(v), dims, x, y, z)
+		})
+	default:
+		return fmt.Errorf("core: cannot write format %v", f)
+	}
+}
+
+// layout describes where the scene variable's bytes live in a file of
+// the given format, independent of whether the file exists: extent-to-
+// runs mapping plus the per-process metadata read count. It is shared by
+// the real reader and the model planner.
+type layout struct {
+	runsFor      func(ext grid.Extent) ([]grid.Run, error)
+	bigEndian    bool
+	metaAccesses int // small per-process metadata reads on open
+}
+
+// formatLayout builds the layout analytically (no file access) for model
+// mode and for planning.
+func formatLayout(f Format, s Scene) (*layout, error) {
+	dims := s.Dims
+	switch f {
+	case FormatRaw:
+		return &layout{
+			runsFor: func(ext grid.Extent) ([]grid.Run, error) {
+				return rawfmt.VarRuns(dims, ext), nil
+			},
+		}, nil
+	case FormatNetCDF, FormatCDF5:
+		ver, record := netcdf.V2, true
+		if f == FormatCDF5 {
+			ver, record = netcdf.V5, false
+		}
+		nf, err := netcdf.NewVolumeFile(ver, dims, varNames(), record)
+		if err != nil {
+			return nil, err
+		}
+		v, _ := nf.VarByName(s.Variable.Name())
+		return &layout{
+			runsFor:      func(ext grid.Extent) ([]grid.Run, error) { return nf.VarRuns(v, ext) },
+			bigEndian:    true,
+			metaAccesses: 1, // header read
+		}, nil
+	case FormatH5:
+		lf, err := h5lite.Layout(dims, varNames())
+		if err != nil {
+			return nil, err
+		}
+		ds, ok := lf.DatasetByName(s.Variable.Name())
+		if !ok {
+			return nil, fmt.Errorf("core: h5lite layout missing %q", s.Variable.Name())
+		}
+		return &layout{
+			runsFor:      func(ext grid.Extent) ([]grid.Run, error) { return ds.VarRuns(ext), nil },
+			metaAccesses: 2 + 2*volume.NumVars, // superblock, symtab, header+attrs per dataset
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: format %v has no file layout", f)
+	}
+}
+
+// UnionRuns returns the byte runs of a whole-variable collective read in
+// the given format — the union request the two-phase planner sees when
+// every block's extent is read together.
+func UnionRuns(f Format, s Scene) ([]grid.Run, error) {
+	lay, err := formatLayout(f, s)
+	if err != nil {
+		return nil, err
+	}
+	return lay.runsFor(grid.WholeGrid(s.Dims))
+}
+
+// FileSizeOf returns the on-disk size of a scene file in the format.
+func FileSizeOf(f Format, s Scene) (int64, error) {
+	switch f {
+	case FormatRaw:
+		return rawfmt.FileSize(s.Dims), nil
+	case FormatNetCDF, FormatCDF5:
+		ver, record := netcdf.V2, true
+		if f == FormatCDF5 {
+			ver, record = netcdf.V5, false
+		}
+		nf, err := netcdf.NewVolumeFile(ver, s.Dims, varNames(), record)
+		if err != nil {
+			return 0, err
+		}
+		return netcdf.FileSize(nf), nil
+	case FormatH5:
+		lf, err := h5lite.Layout(s.Dims, varNames())
+		if err != nil {
+			return 0, err
+		}
+		last := lf.Datasets[len(lf.Datasets)-1]
+		return last.Offset + last.Size, nil
+	default:
+		return 0, fmt.Errorf("core: format %v has no file size", f)
+	}
+}
+
+// openTraced opens a scene file with access tracing.
+func openTraced(path string) (*vfile.Traced, func() error, error) {
+	f, err := vfile.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vfile.NewTraced(f), f.Close, nil
+}

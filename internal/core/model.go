@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bgpvr/internal/compose"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/iotrace"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/mpiio"
+	"bgpvr/internal/pfs"
+	"bgpvr/internal/render"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/torus"
+	"bgpvr/internal/tree"
+)
+
+// ModelConfig configures a model-mode (virtual-time) frame at paper
+// scale.
+type ModelConfig struct {
+	Scene Scene
+	Procs int
+	// Compositors is direct-send's m; 0 applies the paper's improved
+	// rule (machine.ImprovedCompositors); set equal to Procs for the
+	// original scheme.
+	Compositors int
+	Format      Format
+	Hints       mpiio.Hints // CBNodes 0 -> Machine.Aggregators(Procs)
+	Machine     machine.Machine
+	// NoContention disables the shared-link term of the network model
+	// (ablation 5 of DESIGN.md).
+	NoContention bool
+	// BinarySwap uses the binary-swap schedule instead of direct-send.
+	BinarySwap bool
+}
+
+// ModelResult reports the virtual timings and the quantities behind
+// them.
+type ModelResult struct {
+	Times StageTimes
+	// IO is the physical access analysis of the planned collective read.
+	IO iotrace.Stats
+	// ReadBW is useful bytes / I/O time — the paper's "Read B/W".
+	ReadBW float64
+	// Composite is the network model's view of the compositing phase.
+	Composite torus.PhaseStats
+	// Messages and MeanMessageBytes describe the compositing schedule
+	// (the Fig 4 axes).
+	Messages         int
+	MeanMessageBytes float64
+	// SampleBalance is max/mean estimated samples per rank.
+	SampleBalance float64
+}
+
+// RunModel computes the virtual frame time of one configuration.
+func RunModel(cfg ModelConfig) (*ModelResult, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("core: Procs must be >= 1")
+	}
+	mach := cfg.Machine
+	if mach.CoresPerNode == 0 {
+		mach = machine.NewBGP()
+	}
+	m := cfg.Compositors
+	if m <= 0 {
+		m = machine.ImprovedCompositors(cfg.Procs)
+	}
+	if m > cfg.Procs {
+		return nil, fmt.Errorf("core: Compositors %d > Procs %d", m, cfg.Procs)
+	}
+	s := cfg.Scene
+	d := grid.NewDecomp(s.Dims, cfg.Procs)
+	res := &ModelResult{}
+
+	// Stage 1: I/O. The collective read's union request is the whole
+	// variable (every block needs its extent; together they cover the
+	// grid), so the plan depends only on the file layout and hints.
+	if cfg.Format != FormatGenerate {
+		lay, err := formatLayout(cfg.Format, s)
+		if err != nil {
+			return nil, err
+		}
+		union, err := lay.runsFor(grid.WholeGrid(s.Dims))
+		if err != nil {
+			return nil, err
+		}
+		hints := cfg.Hints
+		if hints.CBNodes <= 0 {
+			hints.CBNodes = mach.Aggregators(cfg.Procs)
+		}
+		plan := mpiio.BuildPlan(union, hints)
+		res.IO = plan.Stats()
+		job := pfs.ReadJob{
+			PhysicalBytes:       res.IO.PhysicalBytes,
+			Accesses:            res.IO.Accesses,
+			Aggregators:         hints.CBNodes,
+			IONs:                mach.IONs(cfg.Procs),
+			Procs:               cfg.Procs,
+			MetaAccessesPerProc: lay.metaAccesses,
+		}
+		res.Times.IO = mach.Storage.ReadTime(job)
+		res.ReadBW = float64(res.IO.UsefulBytes) / res.Times.IO
+	}
+
+	// Stage 2: rendering. Per-block sample counts come from the
+	// geometric estimate (block volume over pixel-ray density for the
+	// orthographic experiment camera), and the stage time is the
+	// slowest rank. The ghost layers read above make samples exact at
+	// boundaries, so the owned extent is the right cost basis.
+	cam := s.Camera()
+	rcfg := s.RenderConfig()
+	var sampleSum stats.Summary
+	maxSamples := int64(0)
+	for _, g := range distinctBlockExtents(d) {
+		n := analyticSamples(g.ext, s, rcfg.Step)
+		for i := 0; i < g.count; i++ {
+			sampleSum.Add(float64(n))
+		}
+		if n > maxSamples {
+			maxSamples = n
+		}
+	}
+	res.SampleBalance = sampleSum.Imbalance()
+	res.Times.Render = float64(maxSamples) * mach.SecondsPerSample
+
+	// Stage 3: compositing. Every block's projected rectangle yields
+	// the exact direct-send message schedule, timed on the torus model.
+	rects := make([]img.Rect, cfg.Procs)
+	for r := range rects {
+		rects[r] = render.ProjectedRect(cam, d.BlockExtent(r))
+	}
+	var msgs []compose.RankMessage
+	if cfg.BinarySwap {
+		var err error
+		msgs, err = compose.BinarySwapSchedule(cfg.Procs, s.ImageW, s.ImageH, compose.PixelBytes)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		msgs = compose.DirectSendSchedule(rects, s.ImageW, s.ImageH, m, compose.PixelBytes)
+	}
+	res.Messages = len(msgs)
+	var msgBytes int64
+	for _, mm := range msgs {
+		msgBytes += mm.Bytes
+	}
+	if len(msgs) > 0 {
+		res.MeanMessageBytes = float64(msgBytes) / float64(len(msgs))
+	}
+	res.Composite = mach.PhaseOnTorus(cfg.Procs, msgs, !cfg.NoContention)
+	// Local blending of received fragments, pipelined with arrival:
+	// charge the busiest compositor's pixels at a calibrated blend rate.
+	const blendSecondsPerPixel = 25e-9
+	blend := float64(res.Composite.MaxNodeEject) / compose.PixelBytes * blendSecondsPerPixel
+	res.Times.Composite = res.Composite.Time + blend
+
+	barriers := 2 * tree.BarrierTime(mach.Tree, mach.Nodes(cfg.Procs))
+	res.Times.Total = res.Times.IO + res.Times.Render + res.Times.Composite + barriers
+	return res, nil
+}
+
+// distinctBlockExtents groups the decomposition's blocks by size,
+// returning one representative extent per distinct shape with its
+// multiplicity. A regular decomposition has at most eight distinct
+// shapes ((q | q+1) per axis), so the render estimate at 32K blocks
+// costs eight evaluations rather than 32K.
+func distinctBlockExtents(d grid.Decomp) []extentGroup {
+	type key struct{ x, y, z int }
+	groups := map[key]*extentGroup{}
+	var order []key
+	for r := 0; r < d.NumBlocks(); r++ {
+		e := d.BlockExtent(r)
+		s := e.Size()
+		k := key{s.X, s.Y, s.Z}
+		if g, ok := groups[k]; ok {
+			g.count++
+			continue
+		}
+		groups[k] = &extentGroup{ext: e, count: 1}
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.z < b.z
+	})
+	out := make([]extentGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out
+}
+
+type extentGroup struct {
+	ext   grid.Extent
+	count int
+}
+
+// analyticSamples estimates one block's sample count: the world volume
+// of its owned region (clipped to the sampleable box) divided by the
+// sample density — one ray per pixel footprint, one sample per Step
+// along it. Valid for the orthographic experiment camera.
+func analyticSamples(ext grid.Extent, s Scene, step float64) int64 {
+	side := float64(max(s.Dims.X, max(s.Dims.Y, s.Dims.Z))) * 1.9
+	pxArea := (side / float64(s.ImageW)) * (side / float64(s.ImageH))
+	// Clip to the sampleable region [0, dims-1].
+	vol := 1.0
+	for a := 0; a < 3; a++ {
+		lo := float64(ext.Lo.Comp(a))
+		hi := float64(ext.Hi.Comp(a))
+		if limit := float64(s.Dims.Comp(a) - 1); hi > limit {
+			hi = limit
+		}
+		if hi <= lo {
+			return 0
+		}
+		vol *= hi - lo
+	}
+	return int64(vol / (step * pxArea))
+}

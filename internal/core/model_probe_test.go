@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestModelProbe prints the model-mode landscape for manual calibration
+// review; it never fails. Run with -v to inspect.
+func TestModelProbe(t *testing.T) {
+	scene, _ := PaperScene(1120)
+	for _, p := range []int{64, 256, 1024, 4096, 8192, 16384, 32768} {
+		orig, err := RunModel(ModelConfig{Scene: scene, Procs: p, Compositors: p, Format: FormatRaw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		impr, err := RunModel(ModelConfig{Scene: scene, Procs: p, Format: FormatRaw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("p=%5d io=%6.2f render=%6.2f compOrig=%8.4f compImpr=%8.4f total=%6.2f bw=%5.0fMB/s msgs=%d meanMsg=%.0fB",
+			p, orig.Times.IO, orig.Times.Render, orig.Times.Composite, impr.Times.Composite,
+			impr.Times.Total, impr.ReadBW/1e6, orig.Messages, orig.MeanMessageBytes)
+	}
+	for _, n := range []int{2240, 4480} {
+		scene, _ := PaperScene(n)
+		for _, p := range []int{8192, 16384, 32768} {
+			r, err := RunModel(ModelConfig{Scene: scene, Procs: p, Format: FormatRaw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%d^3 p=%5d total=%7.2f io%%=%4.1f comp%%=%4.1f bw=%.2fGB/s",
+				n, p, r.Times.Total, Percent(r.Times.IO, r.Times.Total),
+				Percent(r.Times.Composite, r.Times.Total), r.ReadBW/1e9)
+		}
+	}
+}

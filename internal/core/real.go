@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/compose"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/halo"
+	"bgpvr/internal/img"
+	"bgpvr/internal/iotrace"
+	"bgpvr/internal/mpiio"
+	"bgpvr/internal/netcdf"
+	"bgpvr/internal/rawfmt"
+	"bgpvr/internal/render"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/vfile"
+	"bgpvr/internal/volume"
+)
+
+// CompositeAlgo selects the compositing algorithm for real mode.
+type CompositeAlgo int
+
+// The compositing algorithms.
+const (
+	CompositeDirectSend CompositeAlgo = iota
+	CompositeBinarySwap
+	CompositeSerialGather
+	// CompositeRadixK uses the radix-k generalization (the paper's
+	// follow-on work); the factorization comes from RealConfig.RadixK
+	// or defaults to target radix 4.
+	CompositeRadixK
+)
+
+// RealConfig configures a real-mode end-to-end frame.
+type RealConfig struct {
+	Scene Scene
+	Procs int
+	// Compositors is direct-send's m; 0 means m = Procs (the "original"
+	// scheme).
+	Compositors int
+	Algo        CompositeAlgo
+	// Format and Path select the on-disk time step; FormatGenerate
+	// skips I/O and synthesizes blocks in memory.
+	Format Format
+	Path   string
+	Hints  mpiio.Hints
+	// Ghost layers read around each block (1 is required for exact
+	// trilinear interpolation at block boundaries).
+	Ghost int
+	// GhostExchange obtains the ghost layers by neighbor messages after
+	// reading only each block's own extent, instead of folding the halo
+	// into the collective read (the default). Both produce identical
+	// fields; the ghost ablation weighs extra I/O against messages.
+	GhostExchange bool
+	// RadixK is the round factorization for CompositeRadixK (its product
+	// must equal Procs); nil picks RadixKFactor(Procs, 4).
+	RadixK []int
+	// BlocksPerRank assigns several blocks to each process round-robin
+	// (the paper "statically allocates a small number of blocks to each
+	// process"), which evens out the spatial load. Default 1. Values
+	// above 1 require the direct-send algorithm.
+	BlocksPerRank int
+}
+
+// RealResult is the outcome of one real-mode frame.
+type RealResult struct {
+	Image   *img.Image
+	Times   StageTimes
+	IO      iotrace.Stats
+	Samples int64 // total across ranks
+	// SampleBalance is max/mean samples per rank.
+	SampleBalance float64
+	// Traffic is the compositing-stage message traffic.
+	Traffic comm.TrafficStats
+}
+
+// RunReal executes the full pipeline with p goroutine ranks and returns
+// the frame. All three stages are separated by barriers and timed, as in
+// the paper's instrumentation ("the time from the start of reading the
+// time step from disk to the time that the final image is completed").
+func RunReal(cfg RealConfig) (*RealResult, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("core: Procs must be >= 1")
+	}
+	m := cfg.Compositors
+	if m <= 0 {
+		m = cfg.Procs
+	}
+	if m > cfg.Procs {
+		return nil, fmt.Errorf("core: Compositors %d > Procs %d", m, cfg.Procs)
+	}
+	s := cfg.Scene
+	ghost := cfg.Ghost
+	if ghost == 0 {
+		ghost = render.GhostLayersFor(s.RenderConfig())
+	}
+	bpr := cfg.BlocksPerRank
+	if bpr <= 0 {
+		bpr = 1
+	}
+	if bpr > 1 && cfg.Algo != CompositeDirectSend {
+		return nil, fmt.Errorf("core: BlocksPerRank > 1 requires direct-send compositing")
+	}
+	if bpr > 1 && cfg.GhostExchange {
+		return nil, fmt.Errorf("core: BlocksPerRank > 1 uses ghost-in-read only")
+	}
+	nblocks := cfg.Procs * bpr
+	d := grid.NewDecomp(s.Dims, nblocks)
+	cam := s.Camera()
+	tf := s.Transfer()
+	rcfg := s.RenderConfig()
+	order := s.FrontToBack(d)
+	rects := make([]img.Rect, nblocks)
+	for b := range rects {
+		rects[b] = render.ProjectedRect(cam, d.BlockExtent(b))
+	}
+
+	var lay *layout
+	var file *vfile.Traced
+	if cfg.Format != FormatGenerate {
+		var err error
+		lay, err = formatLayout(cfg.Format, s)
+		if err != nil {
+			return nil, err
+		}
+		tr, closeFn, err := openTraced(cfg.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer closeFn()
+		file = tr
+	}
+	hints := cfg.Hints
+	if hints.CBNodes <= 0 {
+		hints.CBNodes = min(cfg.Procs, 8)
+	}
+
+	res := &RealResult{}
+	var mu sync.Mutex
+	var t0, t1, t2, t3 time.Time
+	var usefulBytes int64
+	rankSamples := make([]int64, cfg.Procs)
+
+	world := comm.NewWorld(cfg.Procs)
+	err := world.Run(func(c *comm.Comm) error {
+		rank := c.Rank()
+		// Blocks assigned round-robin: rank r owns blocks r, r+p, ...
+		myBlocks := make([]int, 0, bpr)
+		for b := rank; b < nblocks; b += cfg.Procs {
+			myBlocks = append(myBlocks, b)
+		}
+
+		c.Barrier()
+		if rank == 0 {
+			t0 = time.Now()
+		}
+
+		// Stage 1: I/O (or in-memory generation), one collective round
+		// per block slot so the ranks stay aligned. The halo comes
+		// either from the read itself or from a neighbor exchange
+		// afterwards.
+		fields := make([]*volume.Field, len(myBlocks))
+		for i, b := range myBlocks {
+			own := d.BlockExtent(b)
+			readExt := d.GhostExtent(b, ghost)
+			if cfg.GhostExchange {
+				readExt = own
+			}
+			if cfg.Format == FormatGenerate {
+				fields[i] = s.Supernova().Generate(s.Variable, s.Dims, readExt)
+				continue
+			}
+			runs, err := lay.runsFor(readExt)
+			if err != nil {
+				return err
+			}
+			raw, err := mpiio.CollectiveRead(c, file, runs, hints)
+			if err != nil {
+				return err
+			}
+			fld := volume.NewField(s.Dims, readExt)
+			if lay.bigEndian {
+				netcdf.DecodeFloats(raw, fld.Data)
+			} else {
+				rawfmt.DecodeInto(raw, fld.Data)
+			}
+			mu.Lock()
+			usefulBytes += int64(len(raw))
+			mu.Unlock()
+			fields[i] = fld
+		}
+		if cfg.GhostExchange {
+			var err error
+			fields[0], err = halo.Exchange(c, d, fields[0], ghost)
+			if err != nil {
+				return err
+			}
+		}
+		c.Barrier()
+		if rank == 0 {
+			t1 = time.Now()
+			world.ResetStats()
+		}
+		c.Barrier() // ensure ResetStats happens before compositing traffic
+
+		// Stage 2: rendering (no communication).
+		subs := make([]*render.Subimage, len(myBlocks))
+		for i, b := range myBlocks {
+			subs[i] = render.RenderBlock(fields[i], d.BlockExtent(b), cam, tf, rcfg)
+			mu.Lock()
+			res.Samples += subs[i].Samples
+			rankSamples[rank] += subs[i].Samples
+			mu.Unlock()
+		}
+		sub := subs[0]
+		c.Barrier()
+		if rank == 0 {
+			t2 = time.Now()
+			world.ResetStats() // barrier traffic is not compositing traffic
+		}
+		c.Barrier()
+
+		// Stage 3: compositing.
+		var final *img.Image
+		var err error
+		switch cfg.Algo {
+		case CompositeDirectSend:
+			final, err = compose.DirectSendBlocks(c, subs, myBlocks, rects, s.ImageW, s.ImageH, m, order)
+		case CompositeBinarySwap:
+			final, err = compose.BinarySwap(c, sub, s.ImageW, s.ImageH, order)
+		case CompositeSerialGather:
+			final, err = compose.SerialGather(c, sub, rects, s.ImageW, s.ImageH, order)
+		case CompositeRadixK:
+			ks := cfg.RadixK
+			if ks == nil {
+				ks = compose.RadixKFactor(cfg.Procs, 4)
+			}
+			final, err = compose.RadixK(c, sub, s.ImageW, s.ImageH, ks, order)
+		default:
+			err = fmt.Errorf("core: unknown composite algorithm %d", cfg.Algo)
+		}
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			res.Image = final
+		}
+		c.Barrier()
+		if rank == 0 {
+			t3 = time.Now()
+			res.Traffic = world.Stats()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Times = StageTimes{
+		IO:        t1.Sub(t0).Seconds(),
+		Render:    t2.Sub(t1).Seconds(),
+		Composite: t3.Sub(t2).Seconds(),
+		Total:     t3.Sub(t0).Seconds(),
+	}
+	if file != nil {
+		res.IO = iotrace.Analyze(file.Log.Accesses(), nil)
+		res.IO.UsefulBytes = usefulBytes
+	}
+	var sum stats.Summary
+	for _, n := range rankSamples {
+		sum.Add(float64(n))
+	}
+	res.SampleBalance = sum.Imbalance()
+	return res, nil
+}

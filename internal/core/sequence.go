@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bgpvr/internal/iotrace"
+)
+
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// stepPath expands a per-step pattern; a pattern without a format verb
+// names one shared file (useful for camera orbits over a static step).
+func stepPath(pattern string, step int) string {
+	if !strings.Contains(pattern, "%") {
+		return pattern
+	}
+	return fmt.Sprintf(pattern, step)
+}
+
+// SequenceConfig drives a time-varying run: the paper's workload is
+// "reading time steps from storage" repeatedly — VH-1 writes one netCDF
+// file per time step — and rendering each into a frame of an animation.
+type SequenceConfig struct {
+	// Base carries everything except the per-step time and path; its
+	// Scene.Time is the first step's phase.
+	Base RealConfig
+	// Steps is the number of frames.
+	Steps int
+	// TimeDelta advances the synthetic simulation phase per step.
+	TimeDelta float64
+	// AzimuthDelta orbits the camera (degrees per step), for fly-around
+	// animations of a single time step (pair with TimeDelta = 0).
+	AzimuthDelta float64
+	// PathPattern names each step's file, e.g. "dir/step%04d.nc"; files
+	// are written on demand if missing. Ignored for FormatGenerate.
+	PathPattern string
+	// ImagePattern, when non-empty, writes each frame as a PPM,
+	// e.g. "frames/f%04d.ppm".
+	ImagePattern string
+}
+
+// SequenceResult aggregates a sequence run.
+type SequenceResult struct {
+	Frames []StageTimes
+	IO     []iotrace.Stats
+	// Images holds the written image paths (empty without ImagePattern).
+	Images []string
+}
+
+// TotalTimes sums the stage times across frames.
+func (r *SequenceResult) TotalTimes() StageTimes {
+	var t StageTimes
+	for _, f := range r.Frames {
+		t.IO += f.IO
+		t.Render += f.Render
+		t.Composite += f.Composite
+		t.Total += f.Total
+	}
+	return t
+}
+
+// RunSequence renders Steps frames, advancing the synthetic time each
+// step and (for on-disk formats) writing each step's file if absent —
+// the repeated time-step loop of the paper's workflow.
+func RunSequence(cfg SequenceConfig) (*SequenceResult, error) {
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("core: Steps must be >= 1")
+	}
+	if cfg.Base.Format != FormatGenerate && cfg.PathPattern == "" {
+		return nil, fmt.Errorf("core: PathPattern required for on-disk formats")
+	}
+	res := &SequenceResult{}
+	for step := 0; step < cfg.Steps; step++ {
+		rc := cfg.Base
+		rc.Scene.Time = cfg.Base.Scene.Time + float64(step)*cfg.TimeDelta
+		rc.Scene.AzimuthDeg = cfg.Base.Scene.AzimuthDeg + float64(step)*cfg.AzimuthDelta
+		if rc.Format != FormatGenerate {
+			rc.Path = stepPath(cfg.PathPattern, step)
+			if !fileExists(rc.Path) {
+				if err := WriteSceneFile(rc.Path, rc.Format, rc.Scene); err != nil {
+					return nil, fmt.Errorf("core: step %d: %w", step, err)
+				}
+			}
+		}
+		fr, err := RunReal(rc)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", step, err)
+		}
+		res.Frames = append(res.Frames, fr.Times)
+		res.IO = append(res.IO, fr.IO)
+		if cfg.ImagePattern != "" {
+			path := stepPath(cfg.ImagePattern, step)
+			if err := fr.Image.WritePPM(path, 0.02); err != nil {
+				return nil, fmt.Errorf("core: step %d: %w", step, err)
+			}
+			res.Images = append(res.Images, path)
+		}
+	}
+	return res, nil
+}

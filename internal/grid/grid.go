@@ -1,0 +1,268 @@
+// Package grid describes structured (regular Cartesian) grids and their
+// decomposition into rectangular blocks distributed over processes.
+//
+// Conventions used throughout bgpvr:
+//
+//   - A grid of dimensions (X, Y, Z) stores its elements with X varying
+//     fastest: linear index = (z*Y + y)*X + x. This matches the layout of
+//     the raw files in the paper and the per-record layout of netCDF
+//     record variables (a record is one 2D Z-slice of X*Y values).
+//   - An Extent is half-open: it covers cells Lo <= c < Hi on each axis.
+//   - Block decomposition is regular: the process grid (PX, PY, PZ) is
+//     chosen near-cubic (like MPI_Dims_create) and each block is the
+//     volume divided as evenly as possible, matching the paper's "divides
+//     the data space into regular blocks" with static allocation.
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IVec3 is an integer 3-vector used for grid sizes and coordinates,
+// ordered (X, Y, Z).
+type IVec3 struct {
+	X, Y, Z int
+}
+
+// I constructs an IVec3.
+func I(x, y, z int) IVec3 { return IVec3{x, y, z} }
+
+// Count returns X*Y*Z as an int64 (grid element counts overflow 32 bits
+// at the paper's 4480^3 scale).
+func (v IVec3) Count() int64 { return int64(v.X) * int64(v.Y) * int64(v.Z) }
+
+// Comp returns the i-th component (0=X, 1=Y, 2=Z).
+func (v IVec3) Comp(i int) int {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// SetComp returns a copy of v with component i set to s.
+func (v IVec3) SetComp(i, s int) IVec3 {
+	switch i {
+	case 0:
+		v.X = s
+	case 1:
+		v.Y = s
+	default:
+		v.Z = s
+	}
+	return v
+}
+
+// Add returns v + w.
+func (v IVec3) Add(w IVec3) IVec3 { return IVec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v IVec3) Sub(w IVec3) IVec3 { return IVec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Cube returns an IVec3 with all components equal to n.
+func Cube(n int) IVec3 { return IVec3{n, n, n} }
+
+// LinearIndex returns the linear index of cell c in a grid of size dims.
+func LinearIndex(dims, c IVec3) int64 {
+	return (int64(c.Z)*int64(dims.Y)+int64(c.Y))*int64(dims.X) + int64(c.X)
+}
+
+// Extent is a half-open axis-aligned box of cells: Lo <= c < Hi.
+type Extent struct {
+	Lo, Hi IVec3
+}
+
+// Ext constructs an extent from its corners.
+func Ext(lo, hi IVec3) Extent { return Extent{lo, hi} }
+
+// WholeGrid returns the extent covering an entire grid of size dims.
+func WholeGrid(dims IVec3) Extent { return Extent{IVec3{}, dims} }
+
+// Size returns the number of cells along each axis (zero or negative
+// components indicate an empty extent).
+func (e Extent) Size() IVec3 { return e.Hi.Sub(e.Lo) }
+
+// Count returns the number of cells in the extent, or 0 if it is empty.
+func (e Extent) Count() int64 {
+	if e.Empty() {
+		return 0
+	}
+	return e.Size().Count()
+}
+
+// Empty reports whether the extent contains no cells.
+func (e Extent) Empty() bool {
+	s := e.Size()
+	return s.X <= 0 || s.Y <= 0 || s.Z <= 0
+}
+
+// Contains reports whether cell c lies in the extent.
+func (e Extent) Contains(c IVec3) bool {
+	return c.X >= e.Lo.X && c.X < e.Hi.X &&
+		c.Y >= e.Lo.Y && c.Y < e.Hi.Y &&
+		c.Z >= e.Lo.Z && c.Z < e.Hi.Z
+}
+
+// Intersect returns the overlap of two extents (possibly empty).
+func (e Extent) Intersect(f Extent) Extent {
+	lo := IVec3{max(e.Lo.X, f.Lo.X), max(e.Lo.Y, f.Lo.Y), max(e.Lo.Z, f.Lo.Z)}
+	hi := IVec3{min(e.Hi.X, f.Hi.X), min(e.Hi.Y, f.Hi.Y), min(e.Hi.Z, f.Hi.Z)}
+	return Extent{lo, hi}
+}
+
+// Grow expands the extent by g cells on every side, clamped to bounds.
+// It is used to add ghost (halo) layers needed for trilinear
+// interpolation at block boundaries.
+func (e Extent) Grow(g int, bounds Extent) Extent {
+	lo := IVec3{e.Lo.X - g, e.Lo.Y - g, e.Lo.Z - g}
+	hi := IVec3{e.Hi.X + g, e.Hi.Y + g, e.Hi.Z + g}
+	return Extent{lo, hi}.Intersect(bounds)
+}
+
+func (e Extent) String() string {
+	return fmt.Sprintf("[%d,%d,%d)-(%d,%d,%d)", e.Lo.X, e.Lo.Y, e.Lo.Z, e.Hi.X, e.Hi.Y, e.Hi.Z)
+}
+
+// FactorProcs factors p processes into a near-cubic process grid
+// (PX, PY, PZ) with PX*PY*PZ == p, preferring balanced factors, the way
+// MPI_Dims_create does. It panics if p < 1.
+func FactorProcs(p int) IVec3 {
+	if p < 1 {
+		panic("grid: FactorProcs requires p >= 1")
+	}
+	best := IVec3{p, 1, 1}
+	bestScore := score(best)
+	// Enumerate all factorizations p = a*b*c with a <= b <= c.
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			cand := IVec3{c, b, a} // larger factor on X (fastest axis)
+			if s := score(cand); s < bestScore {
+				best, bestScore = cand, s
+			}
+		}
+	}
+	return best
+}
+
+// score measures imbalance of a factorization; lower is more cubic.
+func score(v IVec3) int {
+	mx := max(v.X, max(v.Y, v.Z))
+	mn := min(v.X, min(v.Y, v.Z))
+	return mx - mn
+}
+
+// Decomp is a regular block decomposition of a grid over p processes.
+type Decomp struct {
+	Dims  IVec3 // global grid size
+	Procs IVec3 // process grid (PX, PY, PZ)
+}
+
+// NewDecomp builds a decomposition of a dims-sized grid over p processes
+// using a near-cubic process grid.
+func NewDecomp(dims IVec3, p int) Decomp {
+	return Decomp{Dims: dims, Procs: FactorProcs(p)}
+}
+
+// NumBlocks returns the total number of blocks (== processes).
+func (d Decomp) NumBlocks() int { return d.Procs.X * d.Procs.Y * d.Procs.Z }
+
+// BlockCoord returns the (bx, by, bz) coordinates of block (rank) r in
+// the process grid. Ranks are assigned with X varying fastest, matching
+// LinearIndex.
+func (d Decomp) BlockCoord(r int) IVec3 {
+	px, py := d.Procs.X, d.Procs.Y
+	return IVec3{r % px, (r / px) % py, r / (px * py)}
+}
+
+// BlockRank is the inverse of BlockCoord.
+func (d Decomp) BlockRank(c IVec3) int {
+	return (c.Z*d.Procs.Y+c.Y)*d.Procs.X + c.X
+}
+
+// axisRange returns the half-open cell range owned by index i of n
+// partitions along an axis of length l, distributing the remainder to
+// the lowest-index partitions.
+func axisRange(l, n, i int) (lo, hi int) {
+	q, r := l/n, l%n
+	lo = i*q + min(i, r)
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// BlockExtent returns the extent of cells owned by block (rank) r.
+func (d Decomp) BlockExtent(r int) Extent {
+	c := d.BlockCoord(r)
+	var e Extent
+	for axis := 0; axis < 3; axis++ {
+		lo, hi := axisRange(d.Dims.Comp(axis), d.Procs.Comp(axis), c.Comp(axis))
+		e.Lo = e.Lo.SetComp(axis, lo)
+		e.Hi = e.Hi.SetComp(axis, hi)
+	}
+	return e
+}
+
+// GhostExtent returns block r's extent grown by g ghost layers, clamped
+// to the grid bounds.
+func (d Decomp) GhostExtent(r, g int) Extent {
+	return d.BlockExtent(r).Grow(g, WholeGrid(d.Dims))
+}
+
+// FrontToBack returns a permutation of block ranks in a correct
+// front-to-back visibility order for an eye located at the given
+// position in *cell* coordinates. The classic nested-axis traversal for
+// regular grids (Frieder et al.) yields an order valid for every ray:
+// along each axis, slabs are visited nearest-to-eye first. Pass an eye
+// far outside the volume along the negated view direction to obtain the
+// orthographic order.
+func (d Decomp) FrontToBack(eye [3]float64) []int {
+	orderAxis := func(axis int) []int {
+		n := d.Procs.Comp(axis)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		// Distance from eye to the center of slab i along this axis.
+		center := func(i int) float64 {
+			lo, hi := axisRange(d.Dims.Comp(axis), n, i)
+			return float64(lo+hi) / 2
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			da := absf(center(idx[a]) - eye[axis])
+			db := absf(center(idx[b]) - eye[axis])
+			return da < db
+		})
+		return idx
+	}
+	ox, oy, oz := orderAxis(0), orderAxis(1), orderAxis(2)
+	out := make([]int, 0, d.NumBlocks())
+	for _, z := range oz {
+		for _, y := range oy {
+			for _, x := range ox {
+				out = append(out, d.BlockRank(IVec3{x, y, z}))
+			}
+		}
+	}
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,75 @@
+package grid
+
+// Upsample trilinearly upsamples a float32 field of size src dims to
+// factor*dims, matching the paper's preprocessing step that produced the
+// 2240^3 and 4480^3 time steps from the 1120^3 supernova data ("the
+// upsampling was performed ... as a separate step prior to executing the
+// visualization"). Sample i of the output maps to source coordinate
+// i*(srcN-1)/(dstN-1), so the corner samples are preserved exactly.
+//
+// The data slice is indexed per the package convention (X fastest).
+func Upsample(data []float32, dims IVec3, factor int) ([]float32, IVec3) {
+	if factor < 1 {
+		panic("grid: Upsample factor must be >= 1")
+	}
+	if int64(len(data)) != dims.Count() {
+		panic("grid: Upsample data/dims mismatch")
+	}
+	if factor == 1 {
+		out := make([]float32, len(data))
+		copy(out, data)
+		return out, dims
+	}
+	dst := IVec3{dims.X * factor, dims.Y * factor, dims.Z * factor}
+	out := make([]float32, dst.Count())
+
+	// Precompute per-axis source index pairs and weights.
+	type lerp struct {
+		i0, i1 int
+		w      float64 // weight of i1
+	}
+	axis := func(srcN, dstN int) []lerp {
+		ls := make([]lerp, dstN)
+		for i := 0; i < dstN; i++ {
+			var s float64
+			if dstN > 1 {
+				s = float64(i) * float64(srcN-1) / float64(dstN-1)
+			}
+			i0 := int(s)
+			if i0 >= srcN-1 {
+				i0 = srcN - 1
+				ls[i] = lerp{i0, i0, 0}
+				continue
+			}
+			ls[i] = lerp{i0, i0 + 1, s - float64(i0)}
+		}
+		return ls
+	}
+	lx := axis(dims.X, dst.X)
+	ly := axis(dims.Y, dst.Y)
+	lz := axis(dims.Z, dst.Z)
+
+	srcXY := int64(dims.X) * int64(dims.Y)
+	at := func(x, y, z int) float64 {
+		return float64(data[int64(z)*srcXY+int64(y)*int64(dims.X)+int64(x)])
+	}
+	var di int64
+	for z := 0; z < dst.Z; z++ {
+		zz := lz[z]
+		for y := 0; y < dst.Y; y++ {
+			yy := ly[y]
+			for x := 0; x < dst.X; x++ {
+				xx := lx[x]
+				c00 := at(xx.i0, yy.i0, zz.i0)*(1-xx.w) + at(xx.i1, yy.i0, zz.i0)*xx.w
+				c10 := at(xx.i0, yy.i1, zz.i0)*(1-xx.w) + at(xx.i1, yy.i1, zz.i0)*xx.w
+				c01 := at(xx.i0, yy.i0, zz.i1)*(1-xx.w) + at(xx.i1, yy.i0, zz.i1)*xx.w
+				c11 := at(xx.i0, yy.i1, zz.i1)*(1-xx.w) + at(xx.i1, yy.i1, zz.i1)*xx.w
+				c0 := c00*(1-yy.w) + c10*yy.w
+				c1 := c01*(1-yy.w) + c11*yy.w
+				out[di] = float32(c0*(1-zz.w) + c1*zz.w)
+				di++
+			}
+		}
+	}
+	return out, dst
+}

@@ -1,0 +1,71 @@
+package h5lite
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpvr/internal/grid"
+	"bgpvr/internal/vfile"
+	"bgpvr/internal/volume"
+)
+
+// Open must never panic on corrupted containers.
+func TestOpenNeverPanics(t *testing.T) {
+	dims := grid.Cube(4)
+	sn := volume.Supernova{Seed: 2, Time: 0}
+	path := filepath.Join(t.TempDir(), "t.h5l")
+	if err := Write(path, dims, []string{"a", "b"}, func(v, x, y, z int) float32 {
+		return sn.Eval(volume.Var(v), dims, x, y, z)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(b []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Open panicked: %v", r)
+			}
+		}()
+		_, _ = Open(&vfile.MemFile{Data: b})
+	}
+	// Corrupt every metadata byte (the data region is irrelevant to Open).
+	metaEnd := 2048
+	if metaEnd > len(valid) {
+		metaEnd = len(valid)
+	}
+	for i := 0; i < metaEnd; i++ {
+		for _, v := range []byte{0x00, 0xFF, valid[i] ^ 0x55} {
+			mut := append([]byte(nil), valid...)
+			mut[i] = v
+			check(mut)
+		}
+	}
+	for i := 0; i <= metaEnd; i += 7 {
+		check(valid[:i])
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		b := make([]byte, rng.Intn(512)+8)
+		rng.Read(b)
+		copy(b, Magic[:])
+		check(b)
+	}
+}
+
+func TestOpenFaultyFile(t *testing.T) {
+	dims := grid.Cube(4)
+	path := filepath.Join(t.TempDir(), "t.h5l")
+	if err := Write(path, dims, []string{"a"}, func(v, x, y, z int) float32 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	f := &vfile.FaultyFile{F: &vfile.MemFile{Data: raw}, FailAfter: 1}
+	if _, err := Open(f); err == nil {
+		t.Error("fault not propagated")
+	}
+}

@@ -1,0 +1,129 @@
+// Package halo implements ghost-layer exchange over the comm runtime:
+// the alternative to reading each block with a halo directly from disk.
+// The paper's renderer needs one ghost layer for exact trilinear
+// interpolation at block boundaries; it can come from the collective
+// read (ghost-in-read, the default — slightly more I/O, no messages) or
+// from this 26-neighbor exchange (less I/O, one message phase). The
+// AblationGhost bench quantifies the trade.
+package halo
+
+import (
+	"fmt"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/volume"
+)
+
+const tagHalo = 7000
+
+// encodeRegion serializes the samples of region from f (region must lie
+// within f's extent): six int64 extent bounds followed by float32 data.
+func encodeRegion(f *volume.Field, region grid.Extent) []byte {
+	head := comm.I64sToBytes([]int64{
+		int64(region.Lo.X), int64(region.Lo.Y), int64(region.Lo.Z),
+		int64(region.Hi.X), int64(region.Hi.Y), int64(region.Hi.Z),
+	})
+	vals := make([]float32, 0, region.Count())
+	for z := region.Lo.Z; z < region.Hi.Z; z++ {
+		for y := region.Lo.Y; y < region.Hi.Y; y++ {
+			for x := region.Lo.X; x < region.Hi.X; x++ {
+				vals = append(vals, f.At(x, y, z))
+			}
+		}
+	}
+	return append(head, comm.F32sToBytes(vals)...)
+}
+
+// decodeRegionInto writes a serialized region into dst (regions outside
+// dst's extent are clipped away by SubfieldFrom semantics).
+func decodeRegionInto(dst *volume.Field, b []byte) error {
+	if len(b) < 48 {
+		return fmt.Errorf("halo: short region header (%d bytes)", len(b))
+	}
+	h := comm.BytesToI64s(b[:48])
+	region := grid.Ext(
+		grid.I(int(h[0]), int(h[1]), int(h[2])),
+		grid.I(int(h[3]), int(h[4]), int(h[5])),
+	)
+	vals := comm.BytesToF32s(b[48:])
+	if int64(len(vals)) != region.Count() {
+		return fmt.Errorf("halo: region %v carries %d values", region, len(vals))
+	}
+	tmp := &volume.Field{Dims: dst.Dims, Ext: region, Data: vals}
+	dst.SubfieldFrom(tmp)
+	return nil
+}
+
+// Exchange grows each rank's owned field by g ghost layers using
+// neighbor messages. own must cover exactly the rank's block extent of
+// the decomposition; the returned field covers GhostExtent(rank, g),
+// with boundary values identical to what a ghost-in-read would have
+// loaded. All ranks must call it together.
+func Exchange(c *comm.Comm, d grid.Decomp, own *volume.Field, g int) (*volume.Field, error) {
+	rank := c.Rank()
+	myBlock := d.BlockExtent(rank)
+	if own.Ext != myBlock {
+		return nil, fmt.Errorf("halo: rank %d field covers %v, want its block %v", rank, own.Ext, myBlock)
+	}
+	out := volume.NewField(own.Dims, d.GhostExtent(rank, g))
+	out.SubfieldFrom(own)
+
+	myCoord := d.BlockCoord(rank)
+	// Enumerate the 26-neighborhood once for sends and receives; the
+	// same geometry on both sides makes message counts deterministic.
+	type peerRegion struct {
+		rank int
+		send grid.Extent // part of my block the peer's ghost needs
+		recv grid.Extent // part of the peer's block my ghost needs
+	}
+	var peers []peerRegion
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				nc := myCoord.Add(grid.I(dx, dy, dz))
+				if nc.X < 0 || nc.X >= d.Procs.X || nc.Y < 0 || nc.Y >= d.Procs.Y ||
+					nc.Z < 0 || nc.Z >= d.Procs.Z {
+					continue
+				}
+				peer := d.BlockRank(nc)
+				send := d.GhostExtent(peer, g).Intersect(myBlock)
+				recv := out.Ext.Intersect(d.BlockExtent(peer))
+				if send.Empty() && recv.Empty() {
+					continue
+				}
+				peers = append(peers, peerRegion{rank: peer, send: send, recv: recv})
+			}
+		}
+	}
+	for _, p := range peers {
+		if !p.send.Empty() {
+			c.Send(p.rank, tagHalo, encodeRegion(own, p.send))
+		}
+	}
+	for _, p := range peers {
+		if p.recv.Empty() {
+			continue
+		}
+		_, b := c.Recv(p.rank, tagHalo)
+		if err := decodeRegionInto(out, b); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Bytes returns the total bytes a full exchange moves for a
+// decomposition with g ghost layers — the quantity the ghost ablation
+// weighs against the extra I/O of ghost-in-read.
+func Bytes(d grid.Decomp, g int) int64 {
+	var total int64
+	for r := 0; r < d.NumBlocks(); r++ {
+		ghost := d.GhostExtent(r, g)
+		total += (ghost.Count() - d.BlockExtent(r).Count()) * 4
+	}
+	return total
+}

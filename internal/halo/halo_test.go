@@ -1,0 +1,110 @@
+package halo
+
+import (
+	"fmt"
+	"testing"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/volume"
+)
+
+// Exchange must reconstruct exactly the field a ghost-in-read loads.
+func TestExchangeMatchesGhostRead(t *testing.T) {
+	dims := grid.Cube(20)
+	sn := volume.Supernova{Seed: 6, Time: 0.8}
+	for _, p := range []int{1, 2, 4, 8, 12, 27} {
+		d := grid.NewDecomp(dims, p)
+		errs := make([]error, p)
+		w := comm.NewWorld(p)
+		err := w.Run(func(c *comm.Comm) error {
+			r := c.Rank()
+			own := sn.Generate(volume.VarDensity, dims, d.BlockExtent(r))
+			got, err := Exchange(c, d, own, 1)
+			if err != nil {
+				return err
+			}
+			want := sn.Generate(volume.VarDensity, dims, d.GhostExtent(r, 1))
+			if got.Ext != want.Ext {
+				return fmt.Errorf("rank %d extent %v, want %v", r, got.Ext, want.Ext)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					errs[r] = fmt.Errorf("rank %d element %d: %v vs %v", r, i, got.Data[i], want.Data[i])
+					return errs[r]
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestExchangeTwoGhostLayers(t *testing.T) {
+	dims := grid.Cube(24)
+	sn := volume.Supernova{Seed: 7, Time: 0.2}
+	d := grid.NewDecomp(dims, 8)
+	w := comm.NewWorld(8)
+	err := w.Run(func(c *comm.Comm) error {
+		r := c.Rank()
+		own := sn.Generate(volume.VarPressure, dims, d.BlockExtent(r))
+		got, err := Exchange(c, d, own, 2)
+		if err != nil {
+			return err
+		}
+		want := sn.Generate(volume.VarPressure, dims, d.GhostExtent(r, 2))
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				return fmt.Errorf("rank %d element %d differs", r, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeRejectsWrongExtent(t *testing.T) {
+	dims := grid.Cube(8)
+	d := grid.NewDecomp(dims, 2)
+	w := comm.NewWorld(2)
+	err := w.Run(func(c *comm.Comm) error {
+		bad := volume.NewField(dims, grid.WholeGrid(dims)) // not the block extent
+		if _, err := Exchange(c, d, bad, 1); err == nil {
+			return fmt.Errorf("wrong extent accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeBytesAccounting(t *testing.T) {
+	dims := grid.Cube(16)
+	d := grid.NewDecomp(dims, 8)
+	// Each 8^3 block grows to at most 9^3 (clamped at the boundary).
+	want := int64(8) * (9*9*9 - 8*8*8) * 4
+	if got := Bytes(d, 1); got != want {
+		t.Errorf("Bytes = %d, want %d", got, want)
+	}
+	if Bytes(grid.NewDecomp(dims, 1), 1) != 0 {
+		t.Error("single block has no ghost")
+	}
+}
+
+func TestDecodeRegionErrors(t *testing.T) {
+	dims := grid.Cube(4)
+	f := volume.NewField(dims, grid.WholeGrid(dims))
+	if err := decodeRegionInto(f, []byte{1, 2, 3}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	// Header promising more data than present.
+	head := comm.I64sToBytes([]int64{0, 0, 0, 2, 2, 2})
+	if err := decodeRegionInto(f, head); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package img
+
+// TileGrid is the regular (MX x MY) tile decomposition behind
+// PartitionTiles, with O(1) rect-to-tile-range queries. The schedule
+// generators need this: at 32K renderers and 32K compositors, probing
+// every (rect, tile) pair would cost a billion intersections, while each
+// rect actually overlaps only a handful of tiles.
+type TileGrid struct {
+	W, H   int
+	MX, MY int
+}
+
+// NewTileGrid chooses the near-square (MX, MY) factorization of m for a
+// w x h image (same choice as PartitionTiles).
+func NewTileGrid(w, h, m int) TileGrid {
+	if m <= 0 {
+		panic("img: NewTileGrid requires m > 0")
+	}
+	bestX := 1
+	bestScore := tileScore(w, h, 1, m)
+	for mx := 1; mx <= m; mx++ {
+		if m%mx != 0 {
+			continue
+		}
+		if s := tileScore(w, h, mx, m/mx); s < bestScore {
+			bestX, bestScore = mx, s
+		}
+	}
+	return TileGrid{W: w, H: h, MX: bestX, MY: m / bestX}
+}
+
+// Tiles returns the number of tiles (MX*MY).
+func (g TileGrid) Tiles() int { return g.MX * g.MY }
+
+// Tile returns the rectangle of tile i (row-major: i = ty*MX + tx).
+func (g TileGrid) Tile(i int) Rect {
+	tx, ty := i%g.MX, i/g.MX
+	x0, x1 := axisSplit(g.W, g.MX, tx)
+	y0, y1 := axisSplit(g.H, g.MY, ty)
+	return Rect{X0: x0, Y0: y0, X1: x1, Y1: y1}
+}
+
+// axisIndex returns the partition index along an axis of length l split
+// into n parts that contains coordinate x (0 <= x < l).
+func axisIndex(l, n, x int) int {
+	q, r := l/n, l%n
+	if q == 0 {
+		// More parts than pixels: parts 0..r-1 have one pixel each.
+		return x
+	}
+	if x < r*(q+1) {
+		return x / (q + 1)
+	}
+	return (x-r*(q+1))/q + r
+}
+
+// Range returns the half-open tile index ranges [tx0, tx1) x [ty0, ty1)
+// of tiles intersecting rect (clipped to the image). Empty rects yield
+// empty ranges.
+func (g TileGrid) Range(rect Rect) (tx0, tx1, ty0, ty1 int) {
+	rect = rect.Intersect(Rect{X0: 0, Y0: 0, X1: g.W, Y1: g.H})
+	if rect.Empty() {
+		return 0, 0, 0, 0
+	}
+	tx0 = axisIndex(g.W, g.MX, rect.X0)
+	tx1 = axisIndex(g.W, g.MX, rect.X1-1) + 1
+	ty0 = axisIndex(g.H, g.MY, rect.Y0)
+	ty1 = axisIndex(g.H, g.MY, rect.Y1-1) + 1
+	return
+}
+
+// All returns every tile in index order; PartitionTiles is equivalent
+// to NewTileGrid(w, h, m).All().
+func (g TileGrid) All() []Rect {
+	out := make([]Rect, g.Tiles())
+	for i := range out {
+		out[i] = g.Tile(i)
+	}
+	return out
+}

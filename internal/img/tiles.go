@@ -1,0 +1,39 @@
+package img
+
+// PartitionTiles divides a w x h image into m rectangular tiles, one per
+// compositor, as close to square as possible. Direct-send assigns each
+// compositor such a subregion of the final image; compact 2D tiles (as
+// opposed to scanline spans) are what give direct-send its O(m * n^(1/3))
+// total message count — a tile overlaps roughly one column of projected
+// blocks.
+//
+// The tile grid (mx, my) is the factorization of m whose tile shape is
+// closest to square for the given image, with the remainder pixels
+// distributed to the lowest-index rows/columns. The m tiles partition
+// the image exactly.
+func PartitionTiles(w, h, m int) []Rect {
+	return NewTileGrid(w, h, m).All()
+}
+
+// tileScore measures how far a (mx, my) grid's tiles are from square;
+// lower is better.
+func tileScore(w, h, mx, my int) float64 {
+	tw := float64(w) / float64(mx)
+	th := float64(h) / float64(my)
+	if tw > th {
+		return tw / th
+	}
+	return th / tw
+}
+
+// axisSplit returns the half-open pixel range of part i of n along an
+// axis of length l, remainder to the lowest indices.
+func axisSplit(l, n, i int) (lo, hi int) {
+	q, r := l/n, l%n
+	lo = i*q + min(i, r)
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,159 @@
+package iotrace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"bgpvr/internal/grid"
+)
+
+func TestLogRecordAndReset(t *testing.T) {
+	var l Log
+	l.Record(0, 10)
+	l.RecordRun(grid.Run{Offset: 20, Length: 5})
+	acc := l.Accesses()
+	if len(acc) != 2 || acc[0] != (grid.Run{Offset: 0, Length: 10}) || acc[1] != (grid.Run{Offset: 20, Length: 5}) {
+		t.Fatalf("accesses = %v", acc)
+	}
+	// Returned slice is a copy.
+	acc[0].Offset = 99
+	if l.Accesses()[0].Offset != 0 {
+		t.Error("Accesses should copy")
+	}
+	l.Reset()
+	if len(l.Accesses()) != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record(int64(j), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(l.Accesses()) != 800 {
+		t.Errorf("got %d accesses", len(l.Accesses()))
+	}
+}
+
+func TestAnalyzeDensity(t *testing.T) {
+	physical := []grid.Run{{Offset: 0, Length: 100}, {Offset: 200, Length: 100}}
+	useful := []grid.Run{{Offset: 0, Length: 50}}
+	st := Analyze(physical, useful)
+	if st.Accesses != 2 || st.PhysicalBytes != 200 || st.UsefulBytes != 50 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Density() != 0.25 {
+		t.Errorf("density = %v", st.Density())
+	}
+	if st.MeanAccess != 100 {
+		t.Errorf("mean = %v", st.MeanAccess)
+	}
+}
+
+func TestAnalyzeUniqueBytesDeduplicates(t *testing.T) {
+	// Two overlapping accesses: physical counts both, unique does not.
+	physical := []grid.Run{{Offset: 0, Length: 100}, {Offset: 50, Length: 100}}
+	st := Analyze(physical, nil)
+	if st.PhysicalBytes != 200 || st.UniqueBytes != 150 {
+		t.Errorf("physical=%d unique=%d", st.PhysicalBytes, st.UniqueBytes)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(nil, nil)
+	if st.Density() != 0 || st.MeanAccess != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "density=0.000") {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestMapFullRead(t *testing.T) {
+	m := Map([]grid.Run{{Offset: 0, Length: 1000}}, 1000, 10)
+	for i, v := range m {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestMapPartialBins(t *testing.T) {
+	// Read covers only the first half of a 2-bin file.
+	m := Map([]grid.Run{{Offset: 0, Length: 500}}, 1000, 2)
+	if math.Abs(m[0]-1) > 1e-9 || m[1] != 0 {
+		t.Errorf("map = %v", m)
+	}
+	// Read straddling the bin boundary.
+	m = Map([]grid.Run{{Offset: 250, Length: 500}}, 1000, 2)
+	if math.Abs(m[0]-0.5) > 1e-9 || math.Abs(m[1]-0.5) > 1e-9 {
+		t.Errorf("straddle map = %v", m)
+	}
+}
+
+func TestMapOverlapsClamped(t *testing.T) {
+	// Overlapping accesses cannot push a bin above 1.
+	m := Map([]grid.Run{{Offset: 0, Length: 100}, {Offset: 0, Length: 100}}, 100, 1)
+	if m[0] != 1 {
+		t.Errorf("map = %v", m)
+	}
+	// Access past EOF is clipped.
+	m = Map([]grid.Run{{Offset: 50, Length: 500}}, 100, 2)
+	if m[0] != 0 && math.Abs(m[1]-1) > 1e-9 {
+		t.Errorf("clipped map = %v", m)
+	}
+}
+
+func TestMapDegenerate(t *testing.T) {
+	if len(Map(nil, 0, 5)) != 5 {
+		t.Error("zero-size file should still return bins")
+	}
+	if len(Map(nil, 100, 0)) != 0 {
+		t.Error("zero bins should return empty")
+	}
+}
+
+func TestASCIIMap(t *testing.T) {
+	s := ASCIIMap([]float64{0, 1, 0.5, 0}, 2)
+	lines := strings.Split(s, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", s)
+	}
+	if lines[0][0] != ' ' || lines[0][1] != '@' {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	// Out-of-range values clamp rather than panic.
+	_ = ASCIIMap([]float64{-1, 2}, 2)
+}
+
+func TestMeanSeek(t *testing.T) {
+	// Sequential accesses: zero seek.
+	seq := []grid.Run{{Offset: 0, Length: 100}, {Offset: 100, Length: 100}, {Offset: 200, Length: 50}}
+	if st := Analyze(seq, nil); st.MeanSeek != 0 {
+		t.Errorf("sequential MeanSeek = %v", st.MeanSeek)
+	}
+	// Strided accesses: constant gap.
+	strided := []grid.Run{{Offset: 0, Length: 10}, {Offset: 100, Length: 10}, {Offset: 200, Length: 10}}
+	if st := Analyze(strided, nil); st.MeanSeek != 90 {
+		t.Errorf("strided MeanSeek = %v, want 90", st.MeanSeek)
+	}
+	// Backward jumps count by magnitude.
+	back := []grid.Run{{Offset: 1000, Length: 10}, {Offset: 0, Length: 10}}
+	if st := Analyze(back, nil); st.MeanSeek != 1010 {
+		t.Errorf("backward MeanSeek = %v, want 1010", st.MeanSeek)
+	}
+	if st := Analyze(nil, nil); st.MeanSeek != 0 {
+		t.Error("empty MeanSeek should be 0")
+	}
+}

@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"bgpvr/internal/pfs"
+	"bgpvr/internal/torus"
+	"bgpvr/internal/tree"
+)
+
+// NewCrayXT returns a Cray XT4-class machine description — the paper's
+// stated follow-up platform ("we plan to also conduct similar
+// experiments on other supercomputer systems such as the Cray XT").
+// Salient contrasts with Blue Gene/P, from the published XT4 numbers:
+//
+//   - faster cores (2.1 GHz quad-core Opterons vs 850 MHz PPC450), so
+//     rendering is ~2.5x faster per core;
+//   - a SeaStar2 3D torus with much higher link bandwidth (~7.6 GB/s
+//     per link) but markedly higher per-message software overhead
+//     (Portals ~5-8 µs) and no separate collective network — barriers
+//     run over the torus, modeled here as a software tree;
+//   - a Lustre file system instead of PVFS/GPFS ("we are conducting
+//     similar experiments on Lustre"), with fewer, faster OSTs and no
+//     ION indirection (every node mounts Lustre; the ION abstraction
+//     maps to OST groups).
+//
+// The cross-machine bench contrasts where each system's bottlenecks
+// fall; absolute numbers are indicative, not measured.
+func NewCrayXT() Machine {
+	const linkBW = 7.6e9 // SeaStar2: 7.6 GB/s per link per direction
+	return Machine{
+		CoresPerNode:     4,
+		NodesPerION:      32, // nodes per OST group (Lustre has no IONs)
+		NodesPerRack:     96, // XT4 cabinet: 24 blades x 4 nodes
+		Racks:            200,
+		CoreHz:           2.1e9,
+		SecondsPerSample: 1.2e-6, // faster cores, same algorithm
+		Torus: torus.Params{
+			LinkBandwidth: linkBW,
+			HopLatency:    50e-9,
+			RouteLatency:  2.0e-6,
+			SendOverhead:  5.0e-6, // Portals software overhead
+			RecvOverhead:  6.0e-6,
+			InjectionBW:   6.4e9, // HyperTransport node injection limit
+			EjectionBW:    6.4e9,
+			QueuePenalty:  20e-6, // heavier software matching than BG/P
+			SmallMsgRef:   1024,
+		},
+		Tree: tree.Params{
+			// No hardware collective network: a software tree over the
+			// torus (per-level latency is a short message).
+			LinkBandwidth: linkBW,
+			HopLatency:    6.0e-6,
+		},
+		Storage: pfs.Params{
+			Servers:         144, // OSTs
+			StripeSize:      1 << 20,
+			OpenCost:        0.9, // Lustre opens are costlier at scale
+			PerProcOverhead: 1.2e-4,
+			SatBW:           2.4e9, // larger streaming ceiling
+			HalfSatIONs:     8,
+			AccessLatency:   5e-3,
+			IONLinkBW:       1.2e9,
+		},
+	}
+}

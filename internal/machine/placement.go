@@ -1,0 +1,65 @@
+package machine
+
+import "math/rand"
+
+// Placement selects how MPI ranks map onto torus nodes. The paper's
+// runs use the system default (consecutive ranks packed four to a node,
+// so neighboring blocks are usually neighboring nodes); the alternatives
+// quantify how much of the compositing behaviour depends on that
+// locality.
+type Placement int
+
+// The placement strategies.
+const (
+	// PlacementBlock packs consecutive ranks four per node (XYZT-style
+	// default mapping).
+	PlacementBlock Placement = iota
+	// PlacementRoundRobin deals ranks across nodes like cards, so the
+	// four ranks of a node are p/4 apart in rank space.
+	PlacementRoundRobin
+	// PlacementRandom shuffles ranks over node slots deterministically
+	// (seeded), destroying all locality.
+	PlacementRandom
+)
+
+func (pl Placement) String() string {
+	switch pl {
+	case PlacementBlock:
+		return "block"
+	case PlacementRoundRobin:
+		return "round-robin"
+	default:
+		return "random"
+	}
+}
+
+// RankToNode returns the node id of every rank of a p-rank job under
+// the placement.
+func (m Machine) RankToNode(p int, pl Placement) []int {
+	nodes := m.Nodes(p)
+	out := make([]int, p)
+	switch pl {
+	case PlacementRoundRobin:
+		for r := 0; r < p; r++ {
+			out[r] = r % nodes
+		}
+	case PlacementRandom:
+		// Deterministic shuffle of (node, slot) pairs.
+		slots := make([]int, 0, nodes*m.CoresPerNode)
+		for n := 0; n < nodes; n++ {
+			for s := 0; s < m.CoresPerNode; s++ {
+				slots = append(slots, n)
+			}
+		}
+		rng := rand.New(rand.NewSource(20090522)) // ICPP 2009 vintage
+		rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+		for r := 0; r < p; r++ {
+			out[r] = slots[r]
+		}
+	default:
+		for r := 0; r < p; r++ {
+			out[r] = r / m.CoresPerNode
+		}
+	}
+	return out
+}

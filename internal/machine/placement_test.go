@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"testing"
+
+	"bgpvr/internal/compose"
+)
+
+func TestRankToNodeShapes(t *testing.T) {
+	m := NewBGP()
+	const p = 256
+	nodes := m.Nodes(p)
+	for _, pl := range []Placement{PlacementBlock, PlacementRoundRobin, PlacementRandom} {
+		mapping := m.RankToNode(p, pl)
+		if len(mapping) != p {
+			t.Fatalf("%v: mapping length %d", pl, len(mapping))
+		}
+		// Exactly CoresPerNode ranks per node.
+		counts := make([]int, nodes)
+		for _, n := range mapping {
+			if n < 0 || n >= nodes {
+				t.Fatalf("%v: node %d out of range", pl, n)
+			}
+			counts[n]++
+		}
+		for n, c := range counts {
+			if c != m.CoresPerNode {
+				t.Errorf("%v: node %d hosts %d ranks", pl, n, c)
+			}
+		}
+	}
+	// Block: consecutive; round-robin: strided.
+	if m.RankToNode(p, PlacementBlock)[5] != 1 {
+		t.Error("block placement wrong")
+	}
+	if m.RankToNode(p, PlacementRoundRobin)[5] != 5 {
+		t.Error("round-robin placement wrong")
+	}
+	// Random is deterministic.
+	a := m.RankToNode(p, PlacementRandom)
+	b := m.RankToNode(p, PlacementRandom)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random placement not deterministic")
+		}
+	}
+}
+
+func TestPhaseOnTorusPlacedSelfMessages(t *testing.T) {
+	m := NewBGP()
+	// Under block placement ranks 0-3 share a node; under round-robin
+	// they do not.
+	msg := []compose.RankMessage{{Src: 0, Dst: 3, Bytes: 100}}
+	if st := m.PhaseOnTorusPlaced(64, msg, true, PlacementBlock); st.MaxHops != 0 {
+		t.Error("block placement should co-locate ranks 0-3")
+	}
+	if st := m.PhaseOnTorusPlaced(64, msg, true, PlacementRoundRobin); st.MaxHops == 0 {
+		t.Error("round-robin should separate ranks 0 and 3")
+	}
+}

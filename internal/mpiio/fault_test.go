@@ -1,0 +1,57 @@
+package mpiio
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/vfile"
+)
+
+// faultyLocked makes FaultyFile safe for the concurrent aggregators of a
+// collective read.
+type faultyLocked struct {
+	mu sync.Mutex
+	f  vfile.FaultyFile
+}
+
+func (l *faultyLocked) ReadAt(p []byte, off int64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.ReadAt(p, off)
+}
+
+func (l *faultyLocked) Size() int64 { return l.f.Size() }
+
+// A storage fault during a collective read must surface as an error on
+// the world, not hang the other ranks.
+func TestCollectiveReadPropagatesFault(t *testing.T) {
+	base := &vfile.MemFile{Data: make([]byte, 1<<14)}
+	file := &faultyLocked{f: vfile.FaultyFile{F: base, FailAfter: 1}}
+	const p = 4
+	reqs := make([][]grid.Run, p)
+	for r := range reqs {
+		reqs[r] = []grid.Run{{Offset: int64(r * 2048), Length: 1024}}
+	}
+	w := comm.NewWorld(p)
+	err := w.Run(func(c *comm.Comm) error {
+		_, err := CollectiveRead(c, file, reqs[c.Rank()], Hints{CBBufferSize: 512, CBNodes: 4})
+		return err
+	})
+	if err == nil {
+		t.Fatal("fault not propagated")
+	}
+	if !errors.Is(err, vfile.ErrInjected) && err.Error() == "" {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestIndependentReadPropagatesFault(t *testing.T) {
+	base := &vfile.MemFile{Data: make([]byte, 4096)}
+	f := &vfile.FaultyFile{F: base, FailAfter: 0}
+	if _, err := IndependentRead(f, []grid.Run{{Offset: 0, Length: 10}}, 0); !errors.Is(err, vfile.ErrInjected) {
+		t.Errorf("err = %v", err)
+	}
+}

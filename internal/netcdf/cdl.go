@@ -1,0 +1,69 @@
+package netcdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CDL renders the file's header in CDL, the textual schema notation the
+// real `ncdump -h` prints. Tools and tests use it to inspect generated
+// files the way a scientist would.
+func (f *File) CDL(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netcdf %s {  // %v\n", name, f.Version)
+	if len(f.Dims) > 0 {
+		b.WriteString("dimensions:\n")
+		for _, d := range f.Dims {
+			if d.IsRecord() {
+				fmt.Fprintf(&b, "\t%s = UNLIMITED ; // (%d currently)\n", d.Name, f.NumRecs)
+			} else {
+				fmt.Fprintf(&b, "\t%s = %d ;\n", d.Name, d.Len)
+			}
+		}
+	}
+	if len(f.Vars) > 0 {
+		b.WriteString("variables:\n")
+		for i := range f.Vars {
+			v := &f.Vars[i]
+			names := make([]string, len(v.DimIDs))
+			for j, id := range v.DimIDs {
+				names[j] = f.Dims[id].Name
+			}
+			fmt.Fprintf(&b, "\t%s %s(%s) ;\n", v.Type, v.Name, strings.Join(names, ", "))
+			for _, a := range v.Atts {
+				fmt.Fprintf(&b, "\t\t%s:%s = %s ;\n", v.Name, a.Name, cdlValue(a))
+			}
+		}
+	}
+	if len(f.GAtts) > 0 {
+		b.WriteString("\n// global attributes:\n")
+		for _, a := range f.GAtts {
+			fmt.Fprintf(&b, "\t\t:%s = %s ;\n", a.Name, cdlValue(a))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// cdlValue renders an attribute value in CDL syntax.
+func cdlValue(a Att) string {
+	if a.Type == Char {
+		return fmt.Sprintf("%q", a.Text)
+	}
+	parts := make([]string, len(a.Values))
+	for i, v := range a.Values {
+		switch a.Type {
+		case Byte:
+			parts[i] = fmt.Sprintf("%db", int64(v))
+		case Short:
+			parts[i] = fmt.Sprintf("%ds", int64(v))
+		case Int:
+			parts[i] = fmt.Sprintf("%d", int64(v))
+		case Float:
+			parts[i] = fmt.Sprintf("%gf", v)
+		default:
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+	}
+	return strings.Join(parts, ", ")
+}

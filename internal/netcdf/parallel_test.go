@@ -1,0 +1,128 @@
+package netcdf
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpvr/internal/comm"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/mpiio"
+	"bgpvr/internal/vfile"
+	"bgpvr/internal/volume"
+)
+
+// The parallel (collective) writer must produce byte-identical files to
+// the serial writer, for record and fixed layouts and several rank
+// counts.
+func TestParallelWriteMatchesSerial(t *testing.T) {
+	dims := grid.I(10, 8, 6)
+	names := []string{"pressure", "density", "velocity_x", "velocity_y", "velocity_z"}
+	sn := volume.Supernova{Seed: 23, Time: 0.7}
+
+	for _, record := range []bool{true, false} {
+		ver := V2
+		if !record {
+			ver = V5
+		}
+		// Serial reference.
+		ref, err := NewVolumeFile(ver, dims, names, record)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPath := filepath.Join(t.TempDir(), "ref.nc")
+		err = WriteFile(refPath, ref, func(varIdx int, rec int64) []float32 {
+			v := volume.Var(varIdx)
+			if rec < 0 {
+				return sn.GenerateFull(v, dims).Data
+			}
+			vals := make([]float32, dims.X*dims.Y)
+			i := 0
+			for y := 0; y < dims.Y; y++ {
+				for x := 0; x < dims.X; x++ {
+					vals[i] = sn.Eval(v, dims, x, y, int(rec))
+					i++
+				}
+			}
+			return vals
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(refPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, p := range []int{1, 4, 6} {
+			f, err := NewVolumeFile(ver, dims, names, record)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := grid.NewDecomp(dims, p)
+			out := &vfile.MemFile{Data: make([]byte, FileSize(f))}
+			w := comm.NewWorld(p)
+			err = w.Run(func(c *comm.Comm) error {
+				ext := d.BlockExtent(c.Rank())
+				fields := make([]*volume.Field, len(names))
+				for i := range names {
+					fields[i] = sn.Generate(volume.Var(i), dims, ext)
+				}
+				return ParallelWriteVolume(c, f, out, d, fields,
+					mpiio.Hints{CBBufferSize: 4096, CBNodes: min(p, 3)})
+			})
+			if err != nil {
+				t.Fatalf("record=%v p=%d: %v", record, p, err)
+			}
+			if !bytes.Equal(out.Data, want) {
+				// Find first differing offset for a useful message.
+				at := -1
+				for i := range want {
+					if i >= len(out.Data) || out.Data[i] != want[i] {
+						at = i
+						break
+					}
+				}
+				t.Fatalf("record=%v p=%d: parallel file differs from serial at offset %d", record, p, at)
+			}
+		}
+	}
+}
+
+func TestParallelWriteValidation(t *testing.T) {
+	dims := grid.Cube(4)
+	f, err := NewVolumeFile(V2, dims, []string{"a"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := grid.NewDecomp(dims, 2)
+	w := comm.NewWorld(2)
+	err = w.Run(func(c *comm.Comm) error {
+		// Wrong number of fields.
+		if err := ParallelWriteVolume(c, f, &vfile.MemFile{}, d, nil, mpiio.Hints{}); err == nil {
+			t.Error("field count mismatch accepted")
+		}
+		// Wrong extent.
+		bad := volume.NewField(dims, grid.WholeGrid(dims))
+		if err := ParallelWriteVolume(c, f, &vfile.MemFile{}, d, []*volume.Field{bad}, mpiio.Hints{}); err == nil {
+			t.Error("wrong extent accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeFloatsRoundTrip(t *testing.T) {
+	in := []float32{0, 1.5, -2.25, 3e30}
+	b := EncodeFloats(in)
+	out := make([]float32, len(in))
+	DecodeFloats(b, out)
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("element %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}

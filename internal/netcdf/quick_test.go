@@ -1,0 +1,153 @@
+package netcdf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomFile builds a random but valid File structure: random dims
+// (possibly one record dim), random variables over random dim subsets,
+// random attributes of every type.
+func randomFile(rng *rand.Rand) *File {
+	f := &File{Version: []Version{V1, V2, V5}[rng.Intn(3)]}
+	ndims := rng.Intn(4) + 1
+	hasRec := rng.Intn(2) == 0
+	for i := 0; i < ndims; i++ {
+		l := int64(rng.Intn(7) + 1)
+		if hasRec && i == 0 {
+			l = 0
+			f.NumRecs = int64(rng.Intn(5))
+		}
+		f.Dims = append(f.Dims, Dim{Name: fmt.Sprintf("d%d", i), Len: l})
+	}
+	randAtts := func(n int) []Att {
+		var atts []Att
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				atts = append(atts, Att{Name: fmt.Sprintf("t%d", i), Type: Char,
+					Text: "value-"[:rng.Intn(6)+1]})
+			case 1:
+				atts = append(atts, Att{Name: fmt.Sprintf("i%d", i), Type: Int,
+					Values: []float64{float64(rng.Intn(1000) - 500)}})
+			case 2:
+				atts = append(atts, Att{Name: fmt.Sprintf("f%d", i), Type: Float,
+					Values: []float64{1.5, -2.5}[:rng.Intn(2)+1]})
+			default:
+				atts = append(atts, Att{Name: fmt.Sprintf("s%d", i), Type: Short,
+					Values: []float64{float64(int16(rng.Intn(100)))}})
+			}
+		}
+		return atts
+	}
+	f.GAtts = randAtts(rng.Intn(3))
+	nvars := rng.Intn(4)
+	for v := 0; v < nvars; v++ {
+		rank := rng.Intn(ndims + 1)
+		var ids []int32
+		if hasRec && rng.Intn(2) == 0 && rank > 0 {
+			ids = append(ids, 0)
+			rank--
+		}
+		for i := 0; i < rank; i++ {
+			// Non-record dims only beyond position 0.
+			id := rng.Intn(ndims)
+			if f.Dims[id].IsRecord() {
+				id = (id + 1) % ndims
+				if f.Dims[id].IsRecord() {
+					continue
+				}
+			}
+			ids = append(ids, int32(id))
+		}
+		f.Vars = append(f.Vars, Var{
+			Name:   fmt.Sprintf("v%d", v),
+			Type:   []Type{Byte, Short, Int, Float, Double}[rng.Intn(5)],
+			DimIDs: ids,
+			Atts:   randAtts(rng.Intn(2)),
+		})
+	}
+	return f
+}
+
+// Property: encode/decode is the identity on arbitrary valid headers.
+func TestHeaderRoundTripQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randomFile(rng)
+		if err := ComputeLayout(f); err != nil {
+			return true // oversize layouts are allowed to be rejected
+		}
+		got, err := DecodeHeader(EncodeHeader(f))
+		if err != nil {
+			t.Logf("seed %d: decode error: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Logf("seed %d: mismatch\n got %+v\nwant %+v", seed, got, f)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: layout invariants hold on arbitrary valid headers — begins
+// are 4-byte aligned, fixed variables precede record variables, regions
+// never overlap, and record strides cover every record variable.
+func TestLayoutInvariantsQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randomFile(rng)
+		if err := ComputeLayout(f); err != nil {
+			return true
+		}
+		hdr := int64(len(EncodeHeader(f)))
+		type region struct{ lo, hi int64 }
+		var regions []region
+		recStart := int64(-1)
+		for i := range f.Vars {
+			v := &f.Vars[i]
+			if v.Begin%4 != 0 && v.Begin != hdr {
+				// Begins are naturally 4-aligned because the header and
+				// all vsizes are padded; hdr itself is always 4-aligned.
+				t.Logf("seed %d: var %q begin %d misaligned", seed, v.Name, v.Begin)
+				return false
+			}
+			if v.Begin < hdr {
+				t.Logf("seed %d: var %q begins inside the header", seed, v.Name)
+				return false
+			}
+			if f.IsRecordVar(v) {
+				if recStart < 0 || v.Begin < recStart {
+					recStart = v.Begin
+				}
+				continue
+			}
+			regions = append(regions, region{v.Begin, v.Begin + v.VSize})
+		}
+		// Fixed-variable regions are disjoint and precede the records.
+		for i := range regions {
+			for j := i + 1; j < len(regions); j++ {
+				a, b := regions[i], regions[j]
+				if a.lo < b.hi && b.lo < a.hi {
+					t.Logf("seed %d: overlapping fixed variables", seed)
+					return false
+				}
+			}
+			if recStart >= 0 && regions[i].hi > recStart {
+				t.Logf("seed %d: fixed variable extends into record region", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

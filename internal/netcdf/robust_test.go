@@ -1,0 +1,66 @@
+package netcdf
+
+import (
+	"math/rand"
+	"testing"
+
+	"bgpvr/internal/grid"
+)
+
+// DecodeHeader must never panic on corrupted input — every byte of a
+// valid header is flipped through several values, and random prefixes
+// are truncated. Errors are fine; panics are not.
+func TestDecodeHeaderNeverPanics(t *testing.T) {
+	f := mustVolumeFile(t, V2, grid.I(6, 5, 4), []string{"pressure", "density"}, true)
+	valid := EncodeHeader(f)
+
+	check := func(b []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeHeader panicked on %d-byte input: %v", len(b), r)
+			}
+		}()
+		_, _ = DecodeHeader(b)
+	}
+
+	// Single-byte corruptions.
+	for i := range valid {
+		for _, v := range []byte{0x00, 0xFF, 0x7F, valid[i] + 1} {
+			mut := append([]byte(nil), valid...)
+			mut[i] = v
+			check(mut)
+		}
+	}
+	// Truncations.
+	for i := 0; i <= len(valid); i++ {
+		check(valid[:i])
+	}
+	// Random garbage with a valid magic.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		b := make([]byte, rng.Intn(256)+4)
+		rng.Read(b)
+		b[0], b[1], b[2] = 'C', 'D', 'F'
+		b[3] = byte([]Version{V1, V2, V5}[rng.Intn(3)])
+		check(b)
+	}
+}
+
+// Corrupted headers that decode successfully must still be safe to use
+// for run planning (no panics from absurd dimensions).
+func TestVarRunsOnHostileHeader(t *testing.T) {
+	f := &File{
+		Version: V2,
+		NumRecs: 1 << 40, // absurd record count
+		Dims:    []Dim{{Name: "z", Len: 0}, {Name: "y", Len: 4}, {Name: "x", Len: 4}},
+		Vars:    []Var{{Name: "v", Type: Float, DimIDs: []int32{0, 1, 2}, VSize: 64, Begin: 64}},
+	}
+	// Clipping to a sane extent bounds the work regardless of NumRecs.
+	runs, err := f.VarRuns(&f.Vars[0], grid.Ext(grid.I(0, 0, 0), grid.I(4, 4, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Error("expected runs for the clipped extent")
+	}
+}

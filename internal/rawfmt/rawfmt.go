@@ -1,0 +1,134 @@
+// Package rawfmt reads and writes the paper's "raw" data format: a bare
+// little-endian float32 array of an entire 3D variable, X fastest, with
+// no header. This is the format produced by the offline preprocessing
+// step the paper describes ("extract it during an offline preprocessing
+// step and save it in a single, 32-bit raw data file of 5.3 GB"), and it
+// is the fastest format in every I/O comparison because a subvolume read
+// maps to the densest possible access pattern.
+package rawfmt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"bgpvr/internal/grid"
+	"bgpvr/internal/vfile"
+	"bgpvr/internal/volume"
+)
+
+// ElemSize is the size of one element in bytes (32-bit float).
+const ElemSize = 4
+
+// FileSize returns the size in bytes of a raw file for a dims grid.
+func FileSize(dims grid.IVec3) int64 { return dims.Count() * ElemSize }
+
+// VarRuns returns the byte runs a read of extent ext requires. For raw
+// format this is simply the subarray flattening: the variable starts at
+// offset 0 and is laid out contiguously.
+func VarRuns(dims grid.IVec3, ext grid.Extent) []grid.Run {
+	return grid.Runs(dims, ext, ElemSize, 0)
+}
+
+// Write stores the field's extent (which must cover the whole grid) to
+// path as a raw file.
+func Write(path string, f *volume.Field) error {
+	if f.Ext != grid.WholeGrid(f.Dims) {
+		return fmt.Errorf("rawfmt: Write requires a whole-grid field, got %v", f.Ext)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	var buf [ElemSize]byte
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			out.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// WriteFunc streams a raw file for a dims grid from a generator without
+// materializing the volume (used to build test files larger than
+// memory-comfortable).
+func WriteFunc(path string, dims grid.IVec3, gen func(x, y, z int) float32) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	var buf [ElemSize]byte
+	for z := 0; z < dims.Z; z++ {
+		for y := 0; y < dims.Y; y++ {
+			for x := 0; x < dims.X; x++ {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(gen(x, y, z)))
+				if _, err := w.Write(buf[:]); err != nil {
+					out.Close()
+					return err
+				}
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadExtent reads the subvolume ext from a raw file of a dims grid,
+// returning a field covering ext. It issues one ReadAt per run (an
+// independent, unoptimized read — the collective path goes through
+// package mpiio instead).
+func ReadExtent(f vfile.File, dims grid.IVec3, ext grid.Extent) (*volume.Field, error) {
+	fld := volume.NewField(dims, ext)
+	if err := ReadRunsInto(f, VarRuns(dims, ext), fld.Data); err != nil {
+		return nil, err
+	}
+	return fld, nil
+}
+
+// ReadRunsInto reads the given byte runs in order, decoding float32s
+// into dst sequentially. dst must hold exactly the total element count.
+func ReadRunsInto(f vfile.File, runs []grid.Run, dst []float32) error {
+	var n int64
+	for _, r := range runs {
+		n += r.Length
+	}
+	if n != int64(len(dst))*ElemSize {
+		return fmt.Errorf("rawfmt: runs cover %d bytes but dst holds %d", n, len(dst)*ElemSize)
+	}
+	buf := make([]byte, 0)
+	di := 0
+	for _, r := range runs {
+		if int64(cap(buf)) < r.Length {
+			buf = make([]byte, r.Length)
+		}
+		b := buf[:r.Length]
+		if _, err := f.ReadAt(b, r.Offset); err != nil {
+			return fmt.Errorf("rawfmt: read at %d: %w", r.Offset, err)
+		}
+		for i := 0; i+ElemSize <= len(b); i += ElemSize {
+			dst[di] = math.Float32frombits(binary.LittleEndian.Uint32(b[i:]))
+			di++
+		}
+	}
+	return nil
+}
+
+// DecodeInto decodes a contiguous little-endian float32 byte buffer.
+func DecodeInto(b []byte, dst []float32) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}

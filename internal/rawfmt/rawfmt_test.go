@@ -1,0 +1,151 @@
+package rawfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpvr/internal/grid"
+	"bgpvr/internal/vfile"
+	"bgpvr/internal/volume"
+)
+
+func TestFileSize(t *testing.T) {
+	if FileSize(grid.Cube(1120)) != 1120*1120*1120*4 {
+		t.Errorf("FileSize = %d", FileSize(grid.Cube(1120)))
+	}
+}
+
+func TestVarRunsWholeGrid(t *testing.T) {
+	dims := grid.Cube(8)
+	runs := VarRuns(dims, grid.WholeGrid(dims))
+	if len(runs) != 1 || runs[0].Offset != 0 || runs[0].Length != FileSize(dims) {
+		t.Errorf("runs = %v", runs)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dims := grid.I(7, 5, 3)
+	sn := volume.Supernova{Seed: 4, Time: 1}
+	f := sn.GenerateFull(volume.VarDensity, dims)
+
+	path := filepath.Join(t.TempDir(), "v.raw")
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if st.Size() != FileSize(dims) {
+		t.Fatalf("file size = %d, want %d", st.Size(), FileSize(dims))
+	}
+
+	vf, err := vfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vf.Close()
+
+	// Whole grid.
+	got, err := ReadExtent(vf, dims, grid.WholeGrid(dims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if got.Data[i] != f.Data[i] {
+			t.Fatalf("whole-grid element %d: %v vs %v", i, got.Data[i], f.Data[i])
+		}
+	}
+
+	// Subextent.
+	ext := grid.Ext(grid.I(1, 2, 0), grid.I(5, 4, 3))
+	sub, err := ReadExtent(vf, dims, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := ext.Lo.Z; z < ext.Hi.Z; z++ {
+		for y := ext.Lo.Y; y < ext.Hi.Y; y++ {
+			for x := ext.Lo.X; x < ext.Hi.X; x++ {
+				if sub.At(x, y, z) != f.At(x, y, z) {
+					t.Fatalf("subextent (%d,%d,%d): %v vs %v", x, y, z, sub.At(x, y, z), f.At(x, y, z))
+				}
+			}
+		}
+	}
+}
+
+func TestWriteRejectsPartialField(t *testing.T) {
+	dims := grid.Cube(4)
+	f := volume.NewField(dims, grid.Ext(grid.I(0, 0, 0), grid.I(2, 2, 2)))
+	if err := Write(filepath.Join(t.TempDir(), "x.raw"), f); err == nil {
+		t.Error("expected error for partial field")
+	}
+}
+
+func TestWriteFuncMatchesWrite(t *testing.T) {
+	dims := grid.I(5, 4, 3)
+	sn := volume.Supernova{Seed: 2, Time: 0.3}
+	f := sn.GenerateFull(volume.VarPressure, dims)
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.raw")
+	p2 := filepath.Join(dir, "b.raw")
+	if err := Write(p1, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFunc(p2, dims, func(x, y, z int) float32 {
+		return sn.Eval(volume.VarPressure, dims, x, y, z)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Error("WriteFunc output differs from Write")
+	}
+}
+
+func TestReadRunsIntoSizeMismatch(t *testing.T) {
+	m := &vfile.MemFile{Data: make([]byte, 64)}
+	dst := make([]float32, 3)
+	if err := ReadRunsInto(m, []grid.Run{{Offset: 0, Length: 8}}, dst); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestReadTracedAccessesAreUseful(t *testing.T) {
+	// Reading a subextent touches exactly the bytes of its runs —
+	// density 1.0 for the independent raw path.
+	dims := grid.Cube(6)
+	sn := volume.Supernova{Seed: 1, Time: 0}
+	f := sn.GenerateFull(volume.VarDensity, dims)
+	path := filepath.Join(t.TempDir(), "v.raw")
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	of, err := vfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer of.Close()
+	tf := vfile.NewTraced(of)
+	ext := grid.Ext(grid.I(0, 1, 2), grid.I(4, 5, 6))
+	if _, err := ReadExtent(tf, dims, ext); err != nil {
+		t.Fatal(err)
+	}
+	want := grid.TotalBytes(VarRuns(dims, ext))
+	var got int64
+	for _, a := range tf.Log.Accesses() {
+		got += a.Length
+	}
+	if got != want {
+		t.Errorf("traced %d bytes, want %d", got, want)
+	}
+}
+
+func TestDecodeInto(t *testing.T) {
+	b := []byte{0, 0, 128, 63, 0, 0, 0, 64} // LE float32: 1.0, 2.0
+	dst := make([]float32, 2)
+	DecodeInto(b, dst)
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Errorf("decoded %v", dst)
+	}
+}

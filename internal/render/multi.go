@@ -1,0 +1,138 @@
+package render
+
+import (
+	"math"
+
+	"bgpvr/internal/geom"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/volume"
+)
+
+// Multivariate rendering: the paper reads the five-variable netCDF file
+// directly partly because it "affords the possibility to perform
+// multivariate visualizations in the future" (§V). These entry points
+// sample several co-located fields per ray position and classify the
+// vector of values through one combined classifier. The same global
+// sample grid and half-open ownership apply, so the parallel == serial
+// invariant carries over unchanged.
+
+// MultiClassifier maps the sampled values of all fields at one position
+// to a premultiplied color, with the step-size opacity correction
+// already applied (volume.Transfer.Classify composes well here).
+type MultiClassifier func(vals []float64, step float64) img.RGBA
+
+// castSegmentMulti is castSegment over several fields.
+func castSegmentMulti(fs []*volume.Field, dims grid.IVec3, own *grid.Extent,
+	cls MultiClassifier, cfg Config, ray geom.Ray, t0, t1 float64) (img.RGBA, int64) {
+
+	var acc img.RGBA
+	var samples int64
+	vals := make([]float64, len(fs))
+	const slop = 1e-6
+	k0 := int64(math.Ceil((t0 - slop) / cfg.Step))
+	k1 := int64(math.Floor((t1 + slop) / cfg.Step))
+	for k := k0; k <= k1; k++ {
+		p := ray.At(float64(k) * cfg.Step)
+		if own != nil && !containsHalfOpen(*own, dims, p) {
+			continue
+		}
+		ok := true
+		for i, f := range fs {
+			v, vok := f.Sample(p)
+			if !vok {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		samples++
+		s := cls(vals, cfg.Step)
+		if s.A == 0 && s.R == 0 && s.G == 0 && s.B == 0 {
+			continue
+		}
+		t := 1 - acc.A
+		acc.R += t * s.R
+		acc.G += t * s.G
+		acc.B += t * s.B
+		acc.A += t * s.A
+		if cfg.EarlyTerminationAlpha > 0 && float64(acc.A) >= cfg.EarlyTerminationAlpha {
+			break
+		}
+	}
+	return acc, samples
+}
+
+// RenderBlockMulti renders one block's partial image from several
+// co-extent fields (each must cover the block plus one ghost layer).
+// Macrocell skipping and shading are single-field features and are
+// ignored here.
+func RenderBlockMulti(fs []*volume.Field, own grid.Extent, cam Camera, cls MultiClassifier, cfg Config) *Subimage {
+	rect := ProjectedRect(cam, own)
+	sub := &Subimage{Rect: rect, Pix: make([]img.RGBA, rect.NumPixels())}
+	if rect.Empty() || len(fs) == 0 {
+		return sub
+	}
+	box := ownedBounds(own)
+	i := 0
+	for y := rect.Y0; y < rect.Y1; y++ {
+		for x := rect.X0; x < rect.X1; x++ {
+			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := box.RayIntersect(ray); ok {
+				px, n := castSegmentMulti(fs, fs[0].Dims, &own, cls, cfg, ray, t0, t1)
+				sub.Pix[i] = px
+				sub.Samples += n
+			}
+			i++
+		}
+	}
+	return sub
+}
+
+// RenderFullMulti is the serial multivariate reference renderer.
+func RenderFullMulti(fs []*volume.Field, cam Camera, cls MultiClassifier, cfg Config) (*img.Image, int64) {
+	w, h := cam.Size()
+	out := img.New(w, h)
+	if len(fs) == 0 {
+		return out, 0
+	}
+	f0 := fs[0]
+	box := ownedBounds(f0.Ext)
+	box.Max = geom.V(float64(f0.Ext.Hi.X-1), float64(f0.Ext.Hi.Y-1), float64(f0.Ext.Hi.Z-1))
+	var samples int64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := box.RayIntersect(ray); ok {
+				px, n := castSegmentMulti(fs, f0.Dims, nil, cls, cfg, ray, t0, t1)
+				out.Set(x, y, px)
+				samples += n
+			}
+		}
+	}
+	return out, samples
+}
+
+// ModulatedClassifier builds the common bivariate classification: color
+// and base opacity from the primary value through tf, with the opacity
+// scaled by the secondary value mapped through [lo, hi] -> [0, 1]
+// (clamped). Values of the secondary field below lo erase the sample.
+func ModulatedClassifier(tf *volume.Transfer, lo, hi float64) MultiClassifier {
+	return func(vals []float64, step float64) img.RGBA {
+		s := tf.Classify(vals[0], step)
+		if len(vals) < 2 {
+			return s
+		}
+		w := (vals[1] - lo) / (hi - lo)
+		if w <= 0 {
+			return img.RGBA{}
+		}
+		if w > 1 {
+			w = 1
+		}
+		return img.RGBA{R: s.R * float32(w), G: s.G * float32(w), B: s.B * float32(w), A: s.A * float32(w)}
+	}
+}

@@ -1,0 +1,258 @@
+package render
+
+import (
+	"math"
+
+	"bgpvr/internal/geom"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/volume"
+)
+
+// Config controls sampling.
+type Config struct {
+	// Step is the world-space distance between samples along a ray. All
+	// processes must use the same value; samples sit at t = k*Step from
+	// each ray's origin, which is what makes parallel and serial
+	// rendering identical.
+	Step float64
+	// EarlyTerminationAlpha stops a ray once accumulated opacity
+	// exceeds it. Zero disables early termination (required when the
+	// result must match the composited parallel rendering exactly,
+	// since blocks cannot terminate each other's rays).
+	EarlyTerminationAlpha float64
+	// SkipEmptySpace enables min-max macrocell skipping: samples whose
+	// macrocell cannot classify to any opacity are skipped without a
+	// field fetch. The accumulated image is bit-identical with or
+	// without it (skipped samples contribute nothing); only the sample
+	// count changes.
+	SkipEmptySpace bool
+	// MacrocellSize is the macrocell edge in lattice cells (default 8).
+	MacrocellSize int
+	// Shade configures gradient (Lambertian) shading. All processes
+	// must use identical parameters. Shading preserves the parallel ==
+	// serial invariant *provided blocks carry two ghost layers*:
+	// gradients probe gradStep past the sample, and samples sit up to
+	// one interpolation cell from the block face, so probes reach up to
+	// 1+gradStep lattice units outside the owned region.
+	Shade Shading
+}
+
+// GhostLayersFor returns the halo width a configuration needs for exact
+// block rendering: one layer for interpolation, two when shading
+// gradients are on.
+func GhostLayersFor(cfg Config) int {
+	if cfg.Shade.Enabled {
+		return 2
+	}
+	return 1
+}
+
+// DefaultConfig returns a unit-step configuration without early
+// termination.
+func DefaultConfig() Config { return Config{Step: 1.0} }
+
+// Subimage is the partial image a process produces for its block: the
+// rectangle of pixels its block projects to and their premultiplied
+// accumulated color/opacity.
+type Subimage struct {
+	Rect img.Rect
+	Pix  []img.RGBA // len == Rect.NumPixels(), row-major within Rect
+	// Samples counts field samples taken; it drives the rendering cost
+	// model and the load-imbalance analysis of Fig 3.
+	Samples int64
+}
+
+// At returns the pixel at absolute image coordinates (x, y), which must
+// lie inside Rect.
+func (s *Subimage) At(x, y int) img.RGBA {
+	return s.Pix[(y-s.Rect.Y0)*s.Rect.W()+(x-s.Rect.X0)]
+}
+
+// ownedBounds returns the continuous sample-ownership box of an owned
+// cell extent: points p with Lo <= p < Hi belong to the block. The
+// sampleable limit of the whole volume is [0, dims-1]; the returned box
+// is the extent's [Lo, Hi) corners (the half-open test happens per
+// sample).
+func ownedBounds(ext grid.Extent) geom.AABB {
+	return geom.AABB{
+		Min: geom.V(float64(ext.Lo.X), float64(ext.Lo.Y), float64(ext.Lo.Z)),
+		Max: geom.V(float64(ext.Hi.X), float64(ext.Hi.Y), float64(ext.Hi.Z)),
+	}
+}
+
+// containsHalfOpen reports Lo <= p < Hi per axis, clipped to the global
+// sampleable region [0, dims-1].
+func containsHalfOpen(ext grid.Extent, dims grid.IVec3, p geom.Vec3) bool {
+	if p.X < float64(ext.Lo.X) || p.X >= float64(ext.Hi.X) ||
+		p.Y < float64(ext.Lo.Y) || p.Y >= float64(ext.Hi.Y) ||
+		p.Z < float64(ext.Lo.Z) || p.Z >= float64(ext.Hi.Z) {
+		return false
+	}
+	return p.X <= float64(dims.X-1) && p.Y <= float64(dims.Y-1) && p.Z <= float64(dims.Z-1)
+}
+
+// ProjectedRect returns the image rectangle covered by an extent's
+// bounds under the camera, expanded by one pixel of slack and clamped to
+// the image. If any corner fails to project (behind a perspective eye),
+// the full image rectangle is returned.
+func ProjectedRect(cam Camera, ext grid.Extent) img.Rect {
+	w, h := cam.Size()
+	full := img.Rect{X0: 0, Y0: 0, X1: w, Y1: h}
+	b := ownedBounds(ext)
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range b.Corners() {
+		px, py, ok := cam.Project(c)
+		if !ok {
+			return full
+		}
+		minX, maxX = math.Min(minX, px), math.Max(maxX, px)
+		minY, maxY = math.Min(minY, py), math.Max(maxY, py)
+	}
+	r := img.Rect{
+		X0: int(math.Floor(minX)) - 1, Y0: int(math.Floor(minY)) - 1,
+		X1: int(math.Ceil(maxX)) + 1, Y1: int(math.Ceil(maxY)) + 1,
+	}
+	return r.Intersect(full)
+}
+
+// castSegment samples one ray over [t0, t1], accumulating into acc
+// front to back. own limits ownership (nil means no ownership test:
+// serial rendering). Returns the accumulated pixel and samples taken.
+func castSegment(f *volume.Field, dims grid.IVec3, own *grid.Extent,
+	tf *volume.Transfer, cfg Config, mask *OpacityMask, sh *shader, ray geom.Ray, t0, t1 float64) (img.RGBA, int64) {
+
+	var acc img.RGBA
+	var samples int64
+	// Global sample grid: k*Step from the ray origin. The interval is
+	// widened by a slop so samples landing exactly on a block boundary
+	// plane are never lost to rounding in the interval computation; the
+	// half-open ownership test (and the field's own bounds check) decide
+	// authoritatively which block accumulates each sample.
+	const slop = 1e-6
+	k0 := int64(math.Ceil((t0 - slop) / cfg.Step))
+	k1 := int64(math.Floor((t1 + slop) / cfg.Step))
+	for k := k0; k <= k1; k++ {
+		p := ray.At(float64(k) * cfg.Step)
+		if own != nil && !containsHalfOpen(*own, dims, p) {
+			continue
+		}
+		if mask != nil && !mask.Visible(p) {
+			continue
+		}
+		v, ok := f.Sample(p)
+		if !ok {
+			continue
+		}
+		samples++
+		s := tf.Classify(v, cfg.Step)
+		if s.A == 0 && s.R == 0 && s.G == 0 && s.B == 0 {
+			continue
+		}
+		s.R, s.G, s.B = shadePixel(sh, f, p, s.R, s.G, s.B)
+		// acc is in front of s (front-to-back traversal).
+		t := 1 - acc.A
+		acc.R += t * s.R
+		acc.G += t * s.G
+		acc.B += t * s.B
+		acc.A += t * s.A
+		if cfg.EarlyTerminationAlpha > 0 && float64(acc.A) >= cfg.EarlyTerminationAlpha {
+			break
+		}
+	}
+	return acc, samples
+}
+
+// RenderBlock renders the partial image of one block. f must cover at
+// least the block's owned extent plus one ghost layer (clamped at the
+// volume boundary) so trilinear samples at owned positions are exact.
+func RenderBlock(f *volume.Field, own grid.Extent, cam Camera, tf *volume.Transfer, cfg Config) *Subimage {
+	rect := ProjectedRect(cam, own)
+	sub := &Subimage{Rect: rect, Pix: make([]img.RGBA, rect.NumPixels())}
+	if rect.Empty() {
+		return sub
+	}
+	box := ownedBounds(own)
+	mask := buildMask(f, tf, cfg)
+	sh := newShader(cfg.Shade, geom.V(float64(f.Dims.X-1), float64(f.Dims.Y-1), float64(f.Dims.Z-1)))
+	i := 0
+	for y := rect.Y0; y < rect.Y1; y++ {
+		for x := rect.X0; x < rect.X1; x++ {
+			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := box.RayIntersect(ray); ok {
+				px, n := castSegment(f, f.Dims, &own, tf, cfg, mask, sh, ray, t0, t1)
+				sub.Pix[i] = px
+				sub.Samples += n
+			}
+			i++
+		}
+	}
+	return sub
+}
+
+// buildMask constructs the empty-space mask when the config asks for it.
+func buildMask(f *volume.Field, tf *volume.Transfer, cfg Config) *OpacityMask {
+	if !cfg.SkipEmptySpace {
+		return nil
+	}
+	size := cfg.MacrocellSize
+	if size <= 0 {
+		size = 8
+	}
+	return BuildOpacityMask(BuildMinMax(f, size), tf)
+}
+
+// RenderFull renders the whole volume serially — the reference the
+// parallel pipeline is tested against, and the renderer used by the
+// single-process examples.
+func RenderFull(f *volume.Field, cam Camera, tf *volume.Transfer, cfg Config) (*img.Image, int64) {
+	w, h := cam.Size()
+	out := img.New(w, h)
+	box := ownedBounds(f.Ext)
+	// Clip the sampling interval to the sampleable region [0, dims-1].
+	box.Max = geom.V(float64(f.Ext.Hi.X-1), float64(f.Ext.Hi.Y-1), float64(f.Ext.Hi.Z-1))
+	mask := buildMask(f, tf, cfg)
+	sh := newShader(cfg.Shade, geom.V(float64(f.Dims.X-1), float64(f.Dims.Y-1), float64(f.Dims.Z-1)))
+	var samples int64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := box.RayIntersect(ray); ok {
+				px, n := castSegment(f, f.Dims, nil, tf, cfg, mask, sh, ray, t0, t1)
+				out.Set(x, y, px)
+				samples += n
+			}
+		}
+	}
+	return out, samples
+}
+
+// EstimateSamples returns the number of samples a block would take
+// without rendering it: the per-pixel ray/box interval lengths divided
+// by the step, with the box clipped to the sampleable region
+// [0, dims-1]. It is the cheap cost predictor the model mode uses at
+// scales where rendering for real is impossible (e.g. 4480^3 on 32K
+// virtual processes).
+func EstimateSamples(own grid.Extent, dims grid.IVec3, cam Camera, cfg Config) int64 {
+	rect := ProjectedRect(cam, own)
+	if rect.Empty() {
+		return 0
+	}
+	box := ownedBounds(own)
+	box.Max = box.Max.Min(geom.V(float64(dims.X-1), float64(dims.Y-1), float64(dims.Z-1)))
+	var n int64
+	for y := rect.Y0; y < rect.Y1; y++ {
+		for x := rect.X0; x < rect.X1; x++ {
+			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := box.RayIntersect(ray); ok {
+				k0 := int64(math.Ceil(t0 / cfg.Step))
+				k1 := int64(math.Floor(t1 / cfg.Step))
+				if k1 >= k0 {
+					n += k1 - k0 + 1
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,66 @@
+// Package tree models the Blue Gene/P collective ("tree") network: a
+// dedicated tree spanning all compute nodes (and bridging to the I/O
+// nodes) with 6.8 Gb/s links and about 5 µs worst-case latency. The
+// paper's algorithm uses it for barriers and small reductions between
+// stages, and I/O traffic to the IONs traverses it.
+//
+// Costs follow the standard pipelined-tree model: a payload of b bytes
+// streams through the tree at link bandwidth while each level adds one
+// hop of latency, so a reduce or broadcast costs b/BW + depth*latency.
+package tree
+
+import "math"
+
+// Params are the tree network constants.
+type Params struct {
+	LinkBandwidth float64 // bytes/s per link
+	HopLatency    float64 // seconds per tree level
+}
+
+// NewBGP returns the published Blue Gene/P tree parameters: 6.8 Gb/s
+// per link and 5 µs maximum latency across the full-system tree
+// (~24 levels at 40 racks), giving ~0.2 µs per level.
+func NewBGP() Params {
+	return Params{
+		LinkBandwidth: 6.8e9 / 8,
+		HopLatency:    0.2e-6,
+	}
+}
+
+// Depth returns the depth of a binary tree over n nodes (0 for n <= 1).
+func Depth(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// BcastTime models broadcasting b bytes from the root to n nodes.
+func BcastTime(p Params, n int, b int64) float64 {
+	return float64(b)/p.LinkBandwidth + float64(Depth(n))*p.HopLatency
+}
+
+// ReduceTime models reducing b bytes from n nodes to the root. The tree
+// network performs the combine in hardware at line rate, so the cost is
+// symmetric with broadcast.
+func ReduceTime(p Params, n int, b int64) float64 {
+	return BcastTime(p, n, b)
+}
+
+// AllreduceTime models an allreduce of b bytes over n nodes
+// (reduce + broadcast).
+func AllreduceTime(p Params, n int, b int64) float64 {
+	return ReduceTime(p, n, b) + BcastTime(p, n, b)
+}
+
+// BarrierTime models a barrier over n nodes: a zero-payload reduce
+// followed by a zero-payload broadcast.
+func BarrierTime(p Params, n int) float64 {
+	return 2 * float64(Depth(n)) * p.HopLatency
+}
+
+// GatherTime models gathering b bytes from each of n nodes at the root:
+// the root's ingest link carries all n*b bytes.
+func GatherTime(p Params, n int, b int64) float64 {
+	return float64(n)*float64(b)/p.LinkBandwidth + float64(Depth(n))*p.HopLatency
+}

@@ -1,0 +1,80 @@
+package tree
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDepth(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 1024: 10, 1 << 15: 15, (1 << 15) + 1: 16}
+	for n, want := range cases {
+		if got := Depth(n); got != want {
+			t.Errorf("Depth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBcastTimeComponents(t *testing.T) {
+	p := NewBGP()
+	// Zero payload: pure latency.
+	if got := BcastTime(p, 1024, 0); math.Abs(got-10*p.HopLatency) > 1e-15 {
+		t.Errorf("latency-only bcast = %v", got)
+	}
+	// Large payload: bandwidth dominates.
+	b := int64(1 << 30)
+	got := BcastTime(p, 2, b)
+	want := float64(b)/p.LinkBandwidth + p.HopLatency
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("bcast = %v, want %v", got, want)
+	}
+}
+
+func TestCollectiveMonotonicity(t *testing.T) {
+	p := NewBGP()
+	// More nodes or more bytes never get cheaper.
+	prev := 0.0
+	for _, n := range []int{2, 64, 4096, 1 << 15} {
+		c := AllreduceTime(p, n, 4096)
+		if c < prev {
+			t.Errorf("allreduce got cheaper with more nodes: %v < %v", c, prev)
+		}
+		prev = c
+	}
+	if ReduceTime(p, 64, 100) > ReduceTime(p, 64, 1000) {
+		t.Error("reduce got cheaper with more bytes")
+	}
+}
+
+func TestBarrierPureLatency(t *testing.T) {
+	p := NewBGP()
+	if got := BarrierTime(p, 1); got != 0 {
+		t.Errorf("single-node barrier = %v", got)
+	}
+	if got := BarrierTime(p, 1<<15); math.Abs(got-2*15*p.HopLatency) > 1e-15 {
+		t.Errorf("32K barrier = %v", got)
+	}
+	// BG/P full-system barrier is on the order of 5 µs.
+	if got := BarrierTime(p, 1<<15); got > 10e-6 {
+		t.Errorf("barrier %v unreasonably slow", got)
+	}
+}
+
+func TestGatherRootBottleneck(t *testing.T) {
+	p := NewBGP()
+	n, b := 64, int64(1<<20)
+	got := GatherTime(p, n, b)
+	if got < float64(n)*float64(b)/p.LinkBandwidth {
+		t.Error("gather cannot beat the root link")
+	}
+	// Gather scales linearly with n; broadcast does not.
+	if GatherTime(p, 2*n, b) < 1.9*got-1e-6 {
+		t.Error("gather should roughly double with node count")
+	}
+}
+
+func TestBGPTreeConstants(t *testing.T) {
+	p := NewBGP()
+	if p.LinkBandwidth != 6.8e9/8 {
+		t.Errorf("tree link bandwidth = %v", p.LinkBandwidth)
+	}
+}

@@ -1,0 +1,28 @@
+package vfile
+
+import "errors"
+
+// ErrInjected is returned by FaultyFile once its budget is exhausted.
+var ErrInjected = errors.New("vfile: injected I/O fault")
+
+// FaultyFile wraps a File and fails every ReadAt after the first
+// FailAfter successful calls. It exists for failure-injection tests:
+// every layer of the I/O stack must propagate storage errors rather
+// than deadlock or panic.
+type FaultyFile struct {
+	F         File
+	FailAfter int
+	calls     int
+}
+
+// ReadAt implements io.ReaderAt, failing once the budget is used up.
+func (f *FaultyFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.calls >= f.FailAfter {
+		return 0, ErrInjected
+	}
+	f.calls++
+	return f.F.ReadAt(p, off)
+}
+
+// Size returns the wrapped file's size.
+func (f *FaultyFile) Size() int64 { return f.F.Size() }

@@ -1,0 +1,184 @@
+package vfile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemFileReadAt(t *testing.T) {
+	m := &MemFile{Data: []byte("0123456789")}
+	if m.Size() != 10 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	p := make([]byte, 4)
+	n, err := m.ReadAt(p, 3)
+	if err != nil || n != 4 || string(p) != "3456" {
+		t.Errorf("ReadAt = %d, %v, %q", n, err, p)
+	}
+	// Short read at EOF.
+	n, err = m.ReadAt(p, 8)
+	if err != io.EOF || n != 2 || string(p[:n]) != "89" {
+		t.Errorf("short read = %d, %v, %q", n, err, p[:n])
+	}
+	if _, err := m.ReadAt(p, 100); err != io.EOF {
+		t.Errorf("past-EOF err = %v", err)
+	}
+	if _, err := m.ReadAt(p, -1); err == nil {
+		t.Error("negative offset should error")
+	}
+}
+
+func TestSynthFile(t *testing.T) {
+	s := &SynthFile{
+		N: 100,
+		Gen: func(p []byte, off int64) {
+			for i := range p {
+				p[i] = byte(off + int64(i))
+			}
+		},
+	}
+	p := make([]byte, 5)
+	n, err := s.ReadAt(p, 10)
+	if err != nil || n != 5 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	for i, b := range p {
+		if b != byte(10+i) {
+			t.Errorf("byte %d = %d", i, b)
+		}
+	}
+	// Truncated at logical EOF.
+	n, err = s.ReadAt(p, 98)
+	if n != 2 || err != io.EOF {
+		t.Errorf("eof read = %d, %v", n, err)
+	}
+	if _, err := s.ReadAt(p, 200); err != io.EOF {
+		t.Errorf("past-EOF = %v", err)
+	}
+}
+
+func TestOSFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(path, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != 11 {
+		t.Errorf("size = %d", f.Size())
+	}
+	p := make([]byte, 5)
+	if _, err := f.ReadAt(p, 6); err != nil || string(p) != "world" {
+		t.Errorf("ReadAt = %q, %v", p, err)
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTracedLogsAccesses(t *testing.T) {
+	m := &MemFile{Data: bytes.Repeat([]byte{7}, 64)}
+	tr := NewTraced(m)
+	p := make([]byte, 8)
+	tr.ReadAt(p, 0)
+	tr.ReadAt(p, 32)
+	if tr.Size() != 64 {
+		t.Errorf("size = %d", tr.Size())
+	}
+	acc := tr.Log.Accesses()
+	if len(acc) != 2 || acc[0].Offset != 0 || acc[1].Offset != 32 || acc[1].Length != 8 {
+		t.Errorf("log = %v", acc)
+	}
+	if p[0] != 7 {
+		t.Error("data not passed through")
+	}
+}
+
+func TestFaultyFile(t *testing.T) {
+	base := &MemFile{Data: []byte("0123456789")}
+	f := &FaultyFile{F: base, FailAfter: 2}
+	p := make([]byte, 2)
+	if _, err := f.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(p, 4); err != ErrInjected {
+		t.Errorf("third read err = %v, want ErrInjected", err)
+	}
+	if f.Size() != 10 {
+		t.Errorf("size = %d", f.Size())
+	}
+}
+
+func TestOSRWFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rw.bin")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abc"), 10); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 3)
+	if _, err := f.ReadAt(p, 10); err != nil || string(p) != "abc" {
+		t.Errorf("read back %q, %v", p, err)
+	}
+	if f.Size() != 64 {
+		t.Errorf("size = %d", f.Size())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenRW(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 64 {
+		t.Errorf("reopened size = %d", g.Size())
+	}
+	g.Close()
+	if _, err := OpenRW(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestMemFileWriteAtGrows(t *testing.T) {
+	m := &MemFile{}
+	if _, err := m.WriteAt([]byte("xyz"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 8 || m.Data[5] != 'x' {
+		t.Errorf("grown mem file wrong: %q", m.Data)
+	}
+	if _, err := m.WriteAt([]byte("a"), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestTracedRW(t *testing.T) {
+	m := &MemFile{Data: make([]byte, 32)}
+	tr := NewTracedRW(m)
+	tr.WriteAt([]byte("hi"), 4)
+	p := make([]byte, 2)
+	tr.ReadAt(p, 4)
+	if tr.Size() != 32 {
+		t.Errorf("size = %d", tr.Size())
+	}
+	if len(tr.WriteLog.Accesses()) != 1 || len(tr.ReadLog.Accesses()) != 1 {
+		t.Error("logs incomplete")
+	}
+	if string(p) != "hi" {
+		t.Errorf("payload = %q", p)
+	}
+}

@@ -1,0 +1,95 @@
+package volume
+
+import "fmt"
+
+// Histogram is a fixed-bin histogram of a scalar field's values, the
+// production tool behind transfer-function design: the paper's authors
+// hand-tuned transfer functions for the supernova, and a histogram is
+// what one looks at while doing that.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	Total  int64
+}
+
+// NewHistogram bins a field's samples into bins equal-width buckets over
+// [lo, hi]; values outside clamp to the end bins.
+func NewHistogram(f *Field, lo, hi float64, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic("volume: NewHistogram needs bins >= 1 and hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+	scale := float64(bins) / (hi - lo)
+	for _, v := range f.Data {
+		b := int((float64(v) - lo) * scale)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// BinCenter returns the value at the middle of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Quantile returns the approximate value below which frac of the
+// samples fall (frac in [0, 1]).
+func (h *Histogram) Quantile(frac float64) float64 {
+	if h.Total == 0 {
+		return h.Lo
+	}
+	target := int64(frac * float64(h.Total))
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.Hi
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("histogram[%g,%g] %d bins, %d samples", h.Lo, h.Hi, len(h.Counts), h.Total)
+}
+
+// AutoTransfer builds a transfer function from a histogram: the modal
+// (most common) value band is made transparent — it is usually the
+// background — and opacity ramps toward the distribution's tails, with
+// a cool-to-warm color map. maxOpacity caps the tails' opacity. This is
+// a pragmatic default for unseen data, not a replacement for hand-tuned
+// functions.
+func AutoTransfer(h *Histogram, maxOpacity float64) *Transfer {
+	mode := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[mode] {
+			mode = i
+		}
+	}
+	center := h.BinCenter(mode)
+	span := h.Hi - h.Lo
+	clamp := func(v float64) float64 {
+		if v < h.Lo {
+			return h.Lo
+		}
+		if v > h.Hi {
+			return h.Hi
+		}
+		return v
+	}
+	return NewTransfer(
+		TransferPoint{V: h.Lo, R: 0.10, G: 0.20, B: 0.90, A: maxOpacity},
+		TransferPoint{V: clamp(center - 0.08*span), R: 0.55, G: 0.75, B: 1.00, A: maxOpacity * 0.1},
+		TransferPoint{V: center, R: 1, G: 1, B: 1, A: 0},
+		TransferPoint{V: clamp(center + 0.08*span), R: 1.00, G: 0.80, B: 0.55, A: maxOpacity * 0.1},
+		TransferPoint{V: h.Hi, R: 0.90, G: 0.25, B: 0.10, A: maxOpacity},
+	)
+}

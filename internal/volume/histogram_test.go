@@ -1,0 +1,114 @@
+package volume
+
+import (
+	"math"
+	"testing"
+
+	"bgpvr/internal/grid"
+)
+
+func TestHistogramBinningAndTotal(t *testing.T) {
+	dims := grid.Cube(8)
+	f := NewField(dims, grid.WholeGrid(dims))
+	f.Fill(func(x, y, z int) float32 { return float32(x) / 7 })
+	h := NewHistogram(f, 0, 1, 8)
+	if h.Total != dims.Count() {
+		t.Fatalf("total = %d", h.Total)
+	}
+	// 8 x-planes of 64 samples map one value each; bins must be fairly
+	// even (value x/7 for x=0..7 lands across the range).
+	for i, c := range h.Counts {
+		if c == 0 {
+			t.Errorf("bin %d empty", i)
+		}
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Error("counts do not sum to total")
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	dims := grid.Cube(4)
+	f := NewField(dims, grid.WholeGrid(dims))
+	f.Fill(func(x, y, z int) float32 {
+		if x == 0 {
+			return -5
+		}
+		return 10
+	})
+	h := NewHistogram(f, 0, 1, 4)
+	if h.Counts[0] == 0 || h.Counts[3] == 0 {
+		t.Errorf("outliers not clamped to end bins: %v", h.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	dims := grid.Cube(10)
+	f := NewField(dims, grid.WholeGrid(dims))
+	f.Fill(func(x, y, z int) float32 { return float32(x) / 9 })
+	h := NewHistogram(f, 0, 1, 100)
+	med := h.Quantile(0.5)
+	if math.Abs(med-0.45) > 0.12 {
+		t.Errorf("median = %v, expected near 0.45", med)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestAutoTransferShape(t *testing.T) {
+	// A supernova field is mostly mid-valued (zero velocity); the mode
+	// band must classify transparent, tails opaque.
+	dims := grid.Cube(24)
+	sn := Supernova{Seed: 44, Time: 0.9}
+	f := sn.GenerateFull(VarVelocityX, dims)
+	h := NewHistogram(f, 0, 1, 64)
+	tf := AutoTransfer(h, 0.8)
+
+	mode := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[mode] {
+			mode = i
+		}
+	}
+	if _, _, _, a := tf.Lookup(h.BinCenter(mode)); a != 0 {
+		t.Errorf("modal value opacity = %v, want 0", a)
+	}
+	if _, _, _, a := tf.Lookup(0); a < 0.5 {
+		t.Errorf("low tail opacity = %v", a)
+	}
+	if _, _, _, a := tf.Lookup(1); a < 0.5 {
+		t.Errorf("high tail opacity = %v", a)
+	}
+	// Color is cool at the low end, warm at the high end.
+	rLo, _, bLo, _ := tf.Lookup(0)
+	rHi, _, bHi, _ := tf.Lookup(1)
+	if bLo < rLo || rHi < bHi {
+		t.Error("cool-to-warm mapping broken")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	dims := grid.Cube(2)
+	f := NewField(dims, grid.WholeGrid(dims))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(f, 1, 0, 4)
+}
+
+func TestHistogramStringAndEmptyQuantile(t *testing.T) {
+	h := &Histogram{Lo: 0, Hi: 1, Counts: make([]int64, 4)}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be Lo")
+	}
+	if s := h.String(); s == "" {
+		t.Error("empty String")
+	}
+}

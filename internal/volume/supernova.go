@@ -1,0 +1,159 @@
+package volume
+
+import (
+	"math"
+
+	"bgpvr/internal/grid"
+)
+
+// Supernova is an analytic stand-in for the VH-1 core-collapse supernova
+// dataset (Blondin et al.) visualized in the paper. It models the X
+// component of velocity in a standing-accretion-shock flow:
+//
+//   - a spherical accretion shock whose radius is perturbed by low-order
+//     modes (the SASI "sloshing" the simulation studies),
+//   - infall outside the shock and turbulent convection inside it,
+//   - deterministic multi-octave gradient-ish noise for the turbulence,
+//     evaluable independently at any point (no stored state), so blocks
+//     of any resolution can be generated exactly in parallel.
+//
+// Values are scaled to [0, 1] with 0.5 = zero velocity, as the raw files
+// in this repo store normalized scalars.
+type Supernova struct {
+	// Seed varies the turbulence phases; the same seed always produces
+	// the same field.
+	Seed int64
+	// Time selects the SASI phase, standing in for the paper's
+	// "time step 1530".
+	Time float64
+}
+
+// Var identifies one of the five VH-1 variables stored per time step.
+type Var int
+
+// The five variables of a VH-1 time step, in file order (Fig 8 of the
+// paper names pressure, density and the three velocity components).
+const (
+	VarPressure Var = iota
+	VarDensity
+	VarVelocityX
+	VarVelocityY
+	VarVelocityZ
+	NumVars = 5
+)
+
+// Name returns the netCDF variable name used in files.
+func (v Var) Name() string {
+	switch v {
+	case VarPressure:
+		return "pressure"
+	case VarDensity:
+		return "density"
+	case VarVelocityX:
+		return "velocity_x"
+	case VarVelocityY:
+		return "velocity_y"
+	default:
+		return "velocity_z"
+	}
+}
+
+// hash64 is a splitmix64-style scrambler used to derive deterministic
+// per-octave phases.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s Supernova) phase(octave, k int) float64 {
+	h := hash64(uint64(s.Seed)*1315423911 + uint64(octave)*2654435761 + uint64(k))
+	return 2 * math.Pi * float64(h%1_000_003) / 1_000_003
+}
+
+// turbulence is a smooth pseudo-random field in roughly [-1, 1] built
+// from a few octaves of phase-shifted trigonometric products.
+func (s Supernova) turbulence(x, y, z float64, which int) float64 {
+	var sum, norm float64
+	freq := 3.0
+	amp := 1.0
+	for o := 0; o < 4; o++ {
+		p0 := s.phase(o, which*4+0)
+		p1 := s.phase(o, which*4+1)
+		p2 := s.phase(o, which*4+2)
+		v := math.Sin(freq*x+p0) * math.Sin(freq*y+p1) * math.Sin(freq*z+p2)
+		// Rotate the lattice between octaves so axes do not align.
+		x, y, z = 0.8*y+0.6*z, 0.8*z+0.6*x, 0.8*x+0.6*y
+		sum += amp * v
+		norm += amp
+		freq *= 2.1
+		amp *= 0.55
+	}
+	return sum / norm
+}
+
+// EvalNorm evaluates variable v at normalized coordinates in [-1, 1]^3
+// (the volume cube), returning a value in [0, 1].
+func (s Supernova) EvalNorm(v Var, x, y, z float64) float64 {
+	r := math.Sqrt(x*x + y*y + z*z)
+	if r < 1e-12 {
+		r = 1e-12
+	}
+	ux, uy, uz := x/r, y/r, z/r
+
+	// Perturbed shock radius: base + l=1 sloshing mode (SASI) + l=2 mode.
+	slosh := 0.10 * math.Sin(s.Time) * uz
+	quad := 0.05 * math.Cos(0.7*s.Time) * (3*uz*uz - 1) / 2
+	shock := 0.72 + slosh + quad
+
+	// Smooth blend across the shock front.
+	inside := 0.5 * (1 - math.Tanh((r-shock)/0.035))
+
+	var raw float64
+	switch v {
+	case VarPressure:
+		// High central pressure decaying outward, jump at the shock.
+		raw = 2.2*math.Exp(-3*r) + 0.9*inside + 0.15*inside*s.turbulence(x, y, z, 0)
+		raw = raw/3.3*2 - 1 // to roughly [-1, 1]
+	case VarDensity:
+		raw = 1.8*math.Exp(-2.2*r) + 0.7*inside + 0.2*inside*s.turbulence(x, y, z, 1)
+		raw = raw/2.7*2 - 1
+	default:
+		// Velocity: supersonic infall outside the shock (radial, toward
+		// the center), turbulent convection inside.
+		comp := int(v - VarVelocityX) // 0, 1, 2
+		u := [3]float64{ux, uy, uz}[comp]
+		infall := -0.85 * u * math.Min(1, (r-shock)/0.25+1)
+		turb := s.turbulence(x, y, z, 2+comp) + 0.35*math.Sin(s.Time)*u
+		raw = inside*turb + (1-inside)*infall
+	}
+	if raw > 1 {
+		raw = 1
+	}
+	if raw < -1 {
+		raw = -1
+	}
+	return 0.5 * (raw + 1)
+}
+
+// Eval evaluates variable v at global lattice point (x, y, z) of a
+// dims-sized grid.
+func (s Supernova) Eval(v Var, dims grid.IVec3, x, y, z int) float32 {
+	nx := 2*float64(x)/float64(dims.X-1) - 1
+	ny := 2*float64(y)/float64(dims.Y-1) - 1
+	nz := 2*float64(z)/float64(dims.Z-1) - 1
+	return float32(s.EvalNorm(v, nx, ny, nz))
+}
+
+// Generate fills a new field covering ext of a dims grid with variable v.
+func (s Supernova) Generate(v Var, dims grid.IVec3, ext grid.Extent) *Field {
+	f := NewField(dims, ext)
+	f.Fill(func(x, y, z int) float32 { return s.Eval(v, dims, x, y, z) })
+	return f
+}
+
+// GenerateFull fills the whole dims grid with variable v.
+func (s Supernova) GenerateFull(v Var, dims grid.IVec3) *Field {
+	return s.Generate(v, dims, grid.WholeGrid(dims))
+}

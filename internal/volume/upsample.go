@@ -1,0 +1,64 @@
+package volume
+
+import (
+	"bgpvr/internal/geom"
+	"bgpvr/internal/grid"
+)
+
+// Upsampling here mirrors the paper's §IV-B preprocessing: "we upsampled
+// the existing supernova raw data format. Upsampling preserves the
+// structure of the data ... performed efficiently, in parallel, with the
+// same BG/P architecture and collective I/O". Each process upsamples its
+// block of the target grid from a trilinear interpolation of the source
+// grid; the functions below give the per-block pieces, and
+// core.RunUpsample drives them over collective reads and writes.
+
+// UpsampleSourceExtent returns the source-grid extent a process must
+// hold to compute the target extent dstExt of a dstDims grid upsampled
+// from srcDims: the lattice cells bracketing the mapped coordinates.
+func UpsampleSourceExtent(srcDims, dstDims grid.IVec3, dstExt grid.Extent) grid.Extent {
+	var src grid.Extent
+	for a := 0; a < 3; a++ {
+		sN, dN := srcDims.Comp(a), dstDims.Comp(a)
+		mapCoord := func(i int) float64 {
+			if dN <= 1 {
+				return 0
+			}
+			return float64(i) * float64(sN-1) / float64(dN-1)
+		}
+		lo := int(mapCoord(dstExt.Lo.Comp(a)))
+		hi := int(mapCoord(dstExt.Hi.Comp(a)-1)) + 2 // bracketing cell + half-open
+		src.Lo = src.Lo.SetComp(a, lo)
+		src.Hi = src.Hi.SetComp(a, hi)
+	}
+	return src.Intersect(grid.WholeGrid(srcDims))
+}
+
+// UpsampleExtent computes the target extent dstExt of the upsampled
+// dstDims grid by trilinear interpolation of src (which must cover at
+// least UpsampleSourceExtent of dstExt). Sample i of the output maps to
+// source coordinate i*(srcN-1)/(dstN-1), matching grid.Upsample exactly.
+func UpsampleExtent(src *Field, dstDims grid.IVec3, dstExt grid.Extent) *Field {
+	out := NewField(dstDims, dstExt)
+	sd := src.Dims
+	mapCoord := func(a, i int) float64 {
+		dN := dstDims.Comp(a)
+		if dN <= 1 {
+			return 0
+		}
+		return float64(i) * float64(sd.Comp(a)-1) / float64(dN-1)
+	}
+	out.Fill(func(x, y, z int) float32 {
+		p := geom.V(mapCoord(0, x), mapCoord(1, y), mapCoord(2, z))
+		v, ok := src.Sample(p)
+		if !ok {
+			// Clamp numerically-overhanging coordinates to the source
+			// bounds (can occur only at the extreme lattice edge).
+			b := src.Bounds()
+			p = p.Max(b.Min).Min(b.Max)
+			v, _ = src.Sample(p)
+		}
+		return float32(v)
+	})
+	return out
+}

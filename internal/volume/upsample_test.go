@@ -1,0 +1,28 @@
+package volume
+
+import (
+	"testing"
+
+	"bgpvr/internal/grid"
+)
+
+func TestUpsampleSourceExtentBrackets(t *testing.T) {
+	srcDims := grid.Cube(8)
+	dstDims := grid.Cube(16)
+	// A mid-volume target extent maps back to a bracketing source box.
+	ext := UpsampleSourceExtent(srcDims, dstDims, grid.Ext(grid.I(4, 4, 4), grid.I(8, 8, 8)))
+	// dst 4 -> src 4*7/15 = 1.87 -> lo 1; dst 7 -> 3.27 -> hi 5.
+	if ext.Lo != grid.I(1, 1, 1) || ext.Hi != grid.I(5, 5, 5) {
+		t.Errorf("source extent = %v", ext)
+	}
+	// The whole target requires the whole source.
+	whole := UpsampleSourceExtent(srcDims, dstDims, grid.WholeGrid(dstDims))
+	if whole != grid.WholeGrid(srcDims) {
+		t.Errorf("whole-extent mapping = %v", whole)
+	}
+	// Degenerate single-plane target.
+	deg := UpsampleSourceExtent(srcDims, grid.I(16, 16, 1), grid.Ext(grid.I(0, 0, 0), grid.I(2, 2, 1)))
+	if deg.Empty() {
+		t.Errorf("degenerate extent = %v", deg)
+	}
+}
