@@ -22,6 +22,7 @@ import (
 	"bgpvr/internal/core"
 	"bgpvr/internal/mpiio"
 	"bgpvr/internal/stats"
+	"bgpvr/internal/trace"
 )
 
 func main() {
@@ -39,11 +40,14 @@ func main() {
 	shaded := flag.Bool("shaded", false, "gradient shading (real mode)")
 	frames := flag.Int("frames", 1, "time steps to render (real mode; >1 animates the SASI phase)")
 	out := flag.String("o", "", "output PPM path (real mode; %d inserted for -frames > 1)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the frame (chrome://tracing, Perfetto)")
+	breakdown := flag.Bool("breakdown", false, "print the per-phase end-to-end breakdown table")
 	flag.Parse()
 
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
 		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,
-		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out}); err != nil {
+		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
+		traceOut: *traceOut, breakdown: *breakdown}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
 	}
@@ -88,6 +92,25 @@ type runArgs struct {
 	ghostExchange bool
 	frames        int
 	out           string
+	traceOut      string
+	breakdown     bool
+}
+
+// finishTrace exports whatever the flags asked for after a traced run.
+func finishTrace(a runArgs, tr *trace.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	if a.traceOut != "" {
+		if err := tr.WriteChromeFile(a.traceOut); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("  trace:      %s (open in chrome://tracing or Perfetto)\n", a.traceOut)
+	}
+	if a.breakdown {
+		fmt.Print(tr.Breakdown().Table())
+	}
+	return nil
 }
 
 func run(a runArgs) error {
@@ -103,10 +126,16 @@ func run(a runArgs) error {
 	scene.Shaded = a.shaded
 	hints := mpiio.Hints{CBBufferSize: window}
 
+	wantTrace := a.traceOut != "" || a.breakdown
+
 	switch mode {
 	case "model":
+		var tr *trace.Tracer
+		if wantTrace {
+			tr = trace.NewVirtual(1)
+		}
 		res, err := core.RunModel(core.ModelConfig{
-			Scene: scene, Procs: procs, Compositors: m, Format: f, Hints: hints})
+			Scene: scene, Procs: procs, Compositors: m, Format: f, Hints: hints, Trace: tr})
 		if err != nil {
 			return err
 		}
@@ -123,11 +152,15 @@ func run(a runArgs) error {
 			fmt.Printf("  physical I/O: %s in %d accesses (density %.3f)\n",
 				stats.Bytes(res.IO.PhysicalBytes), res.IO.Accesses, res.IO.Density())
 		}
-		return nil
+		return finishTrace(a, tr)
 
 	case "real":
+		var tr *trace.Tracer
+		if wantTrace {
+			tr = trace.New(procs)
+		}
 		cfg := core.RealConfig{Scene: scene, Procs: procs, Compositors: m, Format: f,
-			Hints: hints, GhostExchange: ghostExchange}
+			Hints: hints, GhostExchange: ghostExchange, Trace: tr}
 		switch algo {
 		case "direct":
 			cfg.Algo = core.CompositeDirectSend
@@ -172,7 +205,7 @@ func run(a runArgs) error {
 			for _, p := range seq.Images {
 				fmt.Println("  image:", p)
 			}
-			return nil
+			return finishTrace(a, tr)
 		}
 		res, err := core.RunReal(cfg)
 		if err != nil {
@@ -196,7 +229,7 @@ func run(a runArgs) error {
 			}
 			fmt.Printf("  image:      %s\n", out)
 		}
-		return nil
+		return finishTrace(a, tr)
 	}
 	return fmt.Errorf("unknown mode %q", mode)
 }

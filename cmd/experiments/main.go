@@ -4,9 +4,14 @@
 // Usage:
 //
 //	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|ablations|crossmachine]
+//	experiments -breakdown [-procs 16384] [-trace frame.json]
 //
 // The output rows mirror what the paper plots; EXPERIMENTS.md records
-// the side-by-side comparison against the published numbers.
+// the side-by-side comparison against the published numbers. The
+// second form traces one end-to-end model frame of the paper's base
+// configuration (1120^3 volume, 1600^2 image, raw format) instead:
+// -breakdown prints the Fig 5-7 per-phase table and -trace writes the
+// virtual timeline as Chrome trace_event JSON.
 package main
 
 import (
@@ -16,11 +21,46 @@ import (
 	"strings"
 
 	"bgpvr/internal/bench"
+	"bgpvr/internal/core"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/trace"
 )
+
+// tracedFrame runs one model-mode frame of the paper's base workload
+// with a virtual tracer and exports what the flags asked for.
+func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool) error {
+	tr := trace.NewVirtual(1)
+	res, err := core.RunModel(core.ModelConfig{
+		Scene:  core.DefaultScene(n, imgSize),
+		Procs:  procs,
+		Format: core.FormatRaw,
+		Trace:  tr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model frame: %d^3 volume, %d^2 image, %d cores, total %s\n",
+		n, imgSize, procs, stats.Seconds(res.Times.Total))
+	if breakdown {
+		fmt.Print(tr.Breakdown().Table())
+	}
+	if traceOut != "" {
+		if err := tr.WriteChromeFile(traceOut); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("trace: %s (open in chrome://tracing or Perfetto)\n", traceOut)
+	}
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations)")
+	traceOut := flag.String("trace", "", "trace one base-config model frame to this Chrome trace_event JSON instead of running experiments")
+	breakdown := flag.Bool("breakdown", false, "print the traced frame's per-phase breakdown table instead of running experiments")
+	procs := flag.Int("procs", 16384, "cores for the traced frame (-trace/-breakdown)")
+	n := flag.Int("n", 1120, "volume grid size n^3 for the traced frame")
+	imgSize := flag.Int("img", 1600, "image size for the traced frame")
 	flag.Parse()
 
 	mach := machine.NewBGP()
@@ -28,6 +68,12 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" || *breakdown {
+		if err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown); err != nil {
+			fail(err)
+		}
+		return
 	}
 	section := func(s string) {
 		fmt.Println(s)

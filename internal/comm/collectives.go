@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"bgpvr/internal/trace"
+)
 
 // Internal tags reserved by the collective implementations. User code
 // should use tags below 1<<20. Families that add a per-step offset get
@@ -17,6 +21,8 @@ const (
 // Barrier blocks until every rank has entered it, using the
 // dissemination algorithm (ceil(log2 p) rounds of pairwise signals).
 func (c *Comm) Barrier() {
+	sp := c.tr.Begin(trace.PhaseComm, "barrier")
+	defer sp.End()
 	p := c.Size()
 	for k := 1; k < p; k <<= 1 {
 		dst := (c.rank + k) % p
@@ -29,6 +35,8 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's data to every rank along a binomial tree and
 // returns the received slice (root returns data unchanged).
 func (c *Comm) Bcast(root int, data []byte) []byte {
+	sp := c.tr.Begin(trace.PhaseComm, "bcast")
+	defer sp.End()
 	p := c.Size()
 	// Work in a rotated rank space where the root is 0. A node's parent
 	// is found by clearing its lowest set bit; it forwards to children
@@ -85,6 +93,8 @@ func OpMax(dst, src []float64) {
 // It returns the combined slice on root and nil elsewhere. vals is not
 // modified. A binomial tree gives ceil(log2 p) combine steps.
 func (c *Comm) Reduce(root int, vals []float64, op ReduceOp) []float64 {
+	sp := c.tr.Begin(trace.PhaseComm, "reduce")
+	defer sp.End()
 	p := c.Size()
 	vrank := (c.rank - root + p) % p
 	acc := append([]float64(nil), vals...)
@@ -112,6 +122,8 @@ func (c *Comm) Reduce(root int, vals []float64, op ReduceOp) []float64 {
 // Allreduce combines every rank's vals with op and returns the result on
 // all ranks (reduce to rank 0, then broadcast).
 func (c *Comm) Allreduce(vals []float64, op ReduceOp) []float64 {
+	sp := c.tr.Begin(trace.PhaseComm, "allreduce")
+	defer sp.End()
 	res := c.Reduce(0, vals, op)
 	var b []byte
 	if c.rank == 0 {
@@ -124,6 +136,8 @@ func (c *Comm) Allreduce(vals []float64, op ReduceOp) []float64 {
 // length Size() indexed by source rank (its own entry aliases data);
 // other ranks return nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
+	sp := c.tr.Begin(trace.PhaseComm, "gather")
+	defer sp.End()
 	if c.rank != root {
 		c.Send(root, tagGather, data)
 		return nil
@@ -141,6 +155,8 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // received, indexed by source rank (entry [rank] aliases bufs[rank]).
 // The pairwise-exchange schedule avoids flooding any single receiver.
 func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
+	sp := c.tr.Begin(trace.PhaseComm, "alltoallv")
+	defer sp.End()
 	p := c.Size()
 	if len(bufs) != p {
 		panic(fmt.Sprintf("comm: Alltoallv needs %d buffers, got %d", p, len(bufs)))
@@ -161,6 +177,8 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 // receives sum of values from ranks < r (0 on rank 0). Used by the
 // I/O aggregators to assign file-domain offsets deterministically.
 func (c *Comm) ExScan(v float64) float64 {
+	sp := c.tr.Begin(trace.PhaseComm, "exscan")
+	defer sp.End()
 	p := c.Size()
 	// Simple binomial up-sweep is overkill at our scales; use a
 	// dissemination scan: after round k, each rank holds the sum of the

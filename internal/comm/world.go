@@ -14,6 +14,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"bgpvr/internal/trace"
 )
 
 // AnySource matches messages from any rank in Recv.
@@ -52,6 +54,8 @@ type World struct {
 
 	statMu sync.Mutex
 	stats  TrafficStats
+
+	tracer *trace.Tracer
 }
 
 // NewWorld creates a communicator with p ranks. p must be >= 1.
@@ -83,6 +87,12 @@ func (w *World) ResetStats() {
 	w.stats = TrafficStats{}
 }
 
+// SetTracer attaches a tracer whose per-rank handles Run passes to
+// each Comm; instrumented operations then record spans and counters.
+// The default (nil) tracer keeps every instrumented path a free no-op.
+// Call before Run.
+func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
+
 // Run executes fn concurrently on every rank and waits for all of them.
 // The first non-nil error (or recovered panic) is returned; remaining
 // ranks still run to completion unless they block forever on a rank that
@@ -101,7 +111,7 @@ func (w *World) Run(fn func(c *Comm) error) error {
 					w.abort()
 				}
 			}()
-			if err := fn(&Comm{w: w, rank: rank}); err != nil {
+			if err := fn(&Comm{w: w, rank: rank, tr: w.tracer.Rank(rank)}); err != nil {
 				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
 				w.abort()
 			}
@@ -130,10 +140,16 @@ func (w *World) abort() {
 type Comm struct {
 	w    *World
 	rank int
+	tr   *trace.Rank
 }
 
 // Rank returns this rank's id in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
+
+// Trace returns this rank's tracing handle — nil (a valid no-op
+// handle) when no tracer is attached — so the layers above the
+// runtime can record their own spans and counters.
+func (c *Comm) Trace() *trace.Rank { return c.tr }
 
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.w.size }
@@ -149,6 +165,8 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	c.w.stats.Messages++
 	c.w.stats.TotalBytes += int64(len(data))
 	c.w.statMu.Unlock()
+	c.tr.Add(trace.CounterMessages, 1)
+	c.tr.Add(trace.CounterBytesSent, int64(len(data)))
 
 	b := c.w.boxes[dst]
 	b.mu.Lock()
@@ -162,6 +180,8 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // payload. Messages from the same source with the same tag are received
 // in the order they were sent; other messages may overtake.
 func (c *Comm) Recv(src, tag int) (from int, data []byte) {
+	sp := c.tr.Begin(trace.PhaseComm, "recv")
+	defer sp.End()
 	b := c.w.boxes[c.rank]
 	b.mu.Lock()
 	defer b.mu.Unlock()

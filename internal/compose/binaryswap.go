@@ -7,6 +7,7 @@ import (
 	"bgpvr/internal/comm"
 	"bgpvr/internal/img"
 	"bgpvr/internal/render"
+	"bgpvr/internal/trace"
 )
 
 // BinarySwap composites with the binary-swap algorithm (Ma et al. 1994),
@@ -17,6 +18,9 @@ import (
 // composites, so each rank finishes owning 1/p of the image. The final
 // image is gathered on rank 0 (nil elsewhere).
 func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img.Image, error) {
+	tr := c.Trace()
+	sp := tr.Begin(trace.PhaseComposite, "binary-swap")
+	defer sp.End()
 	p := c.Size()
 	if p&(p-1) != 0 {
 		return nil, fmt.Errorf("compose: binary swap requires a power-of-two process count, got %d", p)
@@ -38,6 +42,7 @@ func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img
 	}
 
 	for round := 1; round < p; round <<= 1 {
+		roundSp := tr.Begin(trace.PhaseComposite, "bswap-round")
 		partner := vr ^ round
 		mid := span.Lo + span.Len()/2
 		var keep, give img.Span
@@ -67,9 +72,12 @@ func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img
 			}
 		}
 		span = keep
+		roundSp.End()
 	}
 
 	// Gather the 1/p spans at rank 0.
+	gatherSp := tr.Begin(trace.PhaseComposite, "final-gather")
+	defer gatherSp.End()
 	payload := make([]float32, 0, 4*span.Len())
 	for k := span.Lo; k < span.Hi; k++ {
 		px := buf[k]
@@ -95,6 +103,8 @@ func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img
 // SerialGather is the naive baseline: rank 0 receives every partial
 // image whole and composites them serially in visibility order.
 func SerialGather(c *comm.Comm, sub *render.Subimage, rects []img.Rect, w, h int, order []int) (*img.Image, error) {
+	sp := c.Trace().Begin(trace.PhaseComposite, "serial-gather")
+	defer sp.End()
 	p := c.Size()
 	if len(rects) != p {
 		return nil, fmt.Errorf("compose: need %d rects, got %d", p, len(rects))

@@ -7,6 +7,7 @@ import (
 	"bgpvr/internal/comm"
 	"bgpvr/internal/img"
 	"bgpvr/internal/render"
+	"bgpvr/internal/trace"
 )
 
 // Multi-block direct-send: the paper "statically allocates a small
@@ -41,6 +42,9 @@ func DirectSendBlocks(c *comm.Comm, subs []*render.Subimage, blockIDs []int,
 	if len(order) != nblocks {
 		return nil, fmt.Errorf("compose: order lists %d blocks, rects %d", len(order), nblocks)
 	}
+	tr := c.Trace()
+	sp := tr.Begin(trace.PhaseComposite, "direct-send")
+	defer sp.End()
 	pos := make([]int64, nblocks)
 	for k, b := range order {
 		pos[b] = int64(k)
@@ -48,6 +52,7 @@ func DirectSendBlocks(c *comm.Comm, subs []*render.Subimage, blockIDs []int,
 	tiles := img.PartitionTiles(w, h, m)
 
 	// Send each of my blocks' overlaps.
+	sendSp := tr.Begin(trace.PhaseComposite, "fragment-send")
 	for i, sub := range subs {
 		for ti, tile := range tiles {
 			if ov := sub.Rect.Intersect(tile); !ov.Empty() {
@@ -55,8 +60,10 @@ func DirectSendBlocks(c *comm.Comm, subs []*render.Subimage, blockIDs []int,
 			}
 		}
 	}
+	sendSp.End()
 
 	// Composite my tiles.
+	blendSp := tr.Begin(trace.PhaseComposite, "tile-blend")
 	for ti, tile := range tiles {
 		if CompRank(ti, m, p) != c.Rank() {
 			continue
@@ -106,10 +113,13 @@ func DirectSendBlocks(c *comm.Comm, subs []*render.Subimage, blockIDs []int,
 		payload := append(comm.I64sToBytes([]int64{int64(ti)}), comm.F32sToBytes(body)...)
 		c.Send(0, tagSpanGather, payload)
 	}
+	blendSp.End()
 
 	if c.Rank() != 0 {
 		return nil, nil
 	}
+	gatherSp := tr.Begin(trace.PhaseComposite, "final-gather")
+	defer gatherSp.End()
 	out := img.New(w, h)
 	for received := 0; received < m; received++ {
 		_, b := c.Recv(comm.AnySource, tagSpanGather)

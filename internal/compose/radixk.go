@@ -6,6 +6,7 @@ import (
 	"bgpvr/internal/comm"
 	"bgpvr/internal/img"
 	"bgpvr/internal/render"
+	"bgpvr/internal/trace"
 )
 
 // Radix-k compositing (Peterka, Goodell, Ross, Ma, Thakur — the direct
@@ -107,6 +108,9 @@ func RadixKSchedule(p, w, h int, ks []int, pixBytes int64) ([]RankMessage, error
 // image on rank 0 (nil elsewhere). ks must multiply to the world size;
 // order is the shared front-to-back visibility permutation.
 func RadixK(c *comm.Comm, sub *render.Subimage, w, h int, ks []int, order []int) (*img.Image, error) {
+	tr := c.Trace()
+	sp := tr.Begin(trace.PhaseComposite, "radix-k")
+	defer sp.End()
 	p := c.Size()
 	if err := validateRadix(p, ks); err != nil {
 		return nil, err
@@ -131,6 +135,7 @@ func RadixK(c *comm.Comm, sub *render.Subimage, w, h int, ks []int, order []int)
 		if k == 1 {
 			continue
 		}
+		roundSp := tr.Begin(trace.PhaseComposite, "radixk-round")
 		digit := (vr / stride) % k
 		base := vr - digit*stride
 		// Pieces of my current span, one per group member.
@@ -188,9 +193,12 @@ func RadixK(c *comm.Comm, sub *render.Subimage, w, h int, ks []int, order []int)
 		copy(buf[myPiece.Lo:myPiece.Hi], acc)
 		span = myPiece
 		stride *= k
+		roundSp.End()
 	}
 
 	// Gather the final 1/p spans on rank 0.
+	gatherSp := tr.Begin(trace.PhaseComposite, "final-gather")
+	defer gatherSp.End()
 	payload := make([]float32, 0, 4*span.Len())
 	for i := span.Lo; i < span.Hi; i++ {
 		px := buf[i]

@@ -14,6 +14,7 @@ import (
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/torus"
+	"bgpvr/internal/trace"
 	"bgpvr/internal/tree"
 )
 
@@ -34,6 +35,12 @@ type ModelConfig struct {
 	NoContention bool
 	// BinarySwap uses the binary-swap schedule instead of direct-send.
 	BinarySwap bool
+	// Trace, when non-nil, receives the modeled frame as a virtual
+	// timeline on rank 0's track: per-component I/O spans (the pfs
+	// service decomposition), the render stage, the composite stage,
+	// and counters for the planned traffic. Create with
+	// trace.NewVirtual(1).
+	Trace *trace.Tracer
 }
 
 // ModelResult reports the virtual timings and the quantities behind
@@ -77,6 +84,7 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 	// Stage 1: I/O. The collective read's union request is the whole
 	// variable (every block needs its extent; together they cover the
 	// grid), so the plan depends only on the file layout and hints.
+	var ioParts pfs.Parts
 	if cfg.Format != FormatGenerate {
 		lay, err := formatLayout(cfg.Format, s)
 		if err != nil {
@@ -100,7 +108,8 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 			Procs:               cfg.Procs,
 			MetaAccessesPerProc: lay.metaAccesses,
 		}
-		res.Times.IO = mach.Storage.ReadTime(job)
+		ioParts = mach.Storage.ReadTimeParts(job)
+		res.Times.IO = ioParts.Total()
 		res.ReadBW = float64(res.IO.UsefulBytes) / res.Times.IO
 	}
 
@@ -112,12 +121,13 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 	cam := s.Camera()
 	rcfg := s.RenderConfig()
 	var sampleSum stats.Summary
-	maxSamples := int64(0)
+	maxSamples, totalSamples := int64(0), int64(0)
 	for _, g := range distinctBlockExtents(d) {
 		n := analyticSamples(g.ext, s, rcfg.Step)
 		for i := 0; i < g.count; i++ {
 			sampleSum.Add(float64(n))
 		}
+		totalSamples += n * int64(g.count)
 		if n > maxSamples {
 			maxSamples = n
 		}
@@ -158,6 +168,42 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 
 	barriers := 2 * tree.BarrierTime(mach.Tree, mach.Nodes(cfg.Procs))
 	res.Times.Total = res.Times.IO + res.Times.Render + res.Times.Composite + barriers
+
+	// Lay the modeled frame out as a virtual timeline: the pfs service
+	// decomposition inside the io stage, then render, composite and the
+	// stage barriers, with the planned traffic as counters.
+	if tr := cfg.Trace.Rank(0); tr != nil {
+		t := 0.0
+		if res.Times.IO > 0 {
+			tr.Emit(trace.PhaseIO, "io", t, res.Times.IO)
+			for _, part := range []struct {
+				name string
+				dur  float64
+			}{
+				{"pfs-open", ioParts.Open},
+				{"pfs-request", ioParts.Request},
+				{"pfs-stream", ioParts.Stream},
+				{"pfs-access", ioParts.Access},
+				{"pfs-meta", ioParts.Meta},
+			} {
+				if part.dur > 0 {
+					tr.EmitNested(trace.PhaseIO, part.name, t, part.dur)
+					t += part.dur
+				}
+			}
+			t = res.Times.IO
+		}
+		tr.Emit(trace.PhaseRender, "render", t, res.Times.Render)
+		t += res.Times.Render
+		tr.Emit(trace.PhaseComposite, "composite", t, res.Times.Composite)
+		t += res.Times.Composite
+		tr.Emit(trace.PhaseComm, "stage-barriers", t, barriers)
+		tr.Add(trace.CounterMessages, int64(res.Messages))
+		tr.Add(trace.CounterBytesSent, msgBytes)
+		tr.Add(trace.CounterAccesses, int64(res.IO.Accesses))
+		tr.Add(trace.CounterBytesRead, res.IO.PhysicalBytes)
+		tr.Add(trace.CounterSamples, totalSamples)
+	}
 	return res, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"bgpvr/internal/rawfmt"
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
+	"bgpvr/internal/trace"
 	"bgpvr/internal/vfile"
 	"bgpvr/internal/volume"
 )
@@ -63,6 +64,11 @@ type RealConfig struct {
 	// process"), which evens out the spatial load. Default 1. Values
 	// above 1 require the direct-send algorithm.
 	BlocksPerRank int
+	// Trace, when non-nil, records per-rank spans and counters for the
+	// whole frame (io/render/composite stages plus the comm, mpiio and
+	// compose internals). Create with trace.New(Procs). The caller owns
+	// export; nil costs nothing.
+	Trace *trace.Tracer
 }
 
 // RealResult is the outcome of one real-mode frame.
@@ -145,8 +151,10 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 	rankSamples := make([]int64, cfg.Procs)
 
 	world := comm.NewWorld(cfg.Procs)
+	world.SetTracer(cfg.Trace)
 	err := world.Run(func(c *comm.Comm) error {
 		rank := c.Rank()
+		tr := c.Trace()
 		// Blocks assigned round-robin: rank r owns blocks r, r+p, ...
 		myBlocks := make([]int, 0, bpr)
 		for b := rank; b < nblocks; b += cfg.Procs {
@@ -162,6 +170,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		// per block slot so the ranks stay aligned. The halo comes
 		// either from the read itself or from a neighbor exchange
 		// afterwards.
+		ioSp := tr.Begin(trace.PhaseIO, "io")
 		fields := make([]*volume.Field, len(myBlocks))
 		for i, b := range myBlocks {
 			own := d.BlockExtent(b)
@@ -200,6 +209,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 			}
 		}
 		c.Barrier()
+		ioSp.End()
 		if rank == 0 {
 			t1 = time.Now()
 			world.ResetStats()
@@ -207,9 +217,10 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		c.Barrier() // ensure ResetStats happens before compositing traffic
 
 		// Stage 2: rendering (no communication).
+		renderSp := tr.Begin(trace.PhaseRender, "render")
 		subs := make([]*render.Subimage, len(myBlocks))
 		for i, b := range myBlocks {
-			subs[i] = render.RenderBlock(fields[i], d.BlockExtent(b), cam, tf, rcfg)
+			subs[i] = render.RenderBlockTraced(fields[i], d.BlockExtent(b), cam, tf, rcfg, tr)
 			mu.Lock()
 			res.Samples += subs[i].Samples
 			rankSamples[rank] += subs[i].Samples
@@ -217,6 +228,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		}
 		sub := subs[0]
 		c.Barrier()
+		renderSp.End()
 		if rank == 0 {
 			t2 = time.Now()
 			world.ResetStats() // barrier traffic is not compositing traffic
@@ -224,6 +236,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		c.Barrier()
 
 		// Stage 3: compositing.
+		compSp := tr.Begin(trace.PhaseComposite, "composite")
 		var final *img.Image
 		var err error
 		switch cfg.Algo {
@@ -249,6 +262,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 			res.Image = final
 		}
 		c.Barrier()
+		compSp.End()
 		if rank == 0 {
 			t3 = time.Now()
 			res.Traffic = world.Stats()

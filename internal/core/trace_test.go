@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bgpvr/internal/trace"
+)
+
+// TestRunRealTraced pins the end-to-end acceptance behavior: a real
+// frame with a tracer attached records per-rank tracks with io, render
+// and composite spans, nonzero counters, a breakdown table naming all
+// three stages, and a loadable Chrome trace.
+func TestRunRealTraced(t *testing.T) {
+	const procs = 8
+	tr := trace.New(procs)
+	res, err := RunReal(RealConfig{
+		Scene: DefaultScene(32, 64),
+		Procs: procs,
+		Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image == nil {
+		t.Fatal("no image")
+	}
+
+	// Every rank must have a top-level span of each stage phase.
+	type key struct {
+		rank  int
+		phase trace.Phase
+	}
+	seen := map[key]bool{}
+	for _, e := range tr.Events() {
+		if !e.Nested {
+			seen[key{e.Rank, e.Phase}] = true
+		}
+		if e.Dur < 0 {
+			t.Errorf("event %q has negative duration", e.Name)
+		}
+	}
+	for r := 0; r < procs; r++ {
+		for _, p := range []trace.Phase{trace.PhaseIO, trace.PhaseRender, trace.PhaseComposite} {
+			if !seen[key{r, p}] {
+				t.Errorf("rank %d missing a top-level %v span", r, p)
+			}
+		}
+	}
+
+	tot := tr.Totals()
+	if tot[trace.CounterSamples] != res.Samples {
+		t.Errorf("samples counter = %d, want %d (RealResult.Samples)", tot[trace.CounterSamples], res.Samples)
+	}
+	if tot[trace.CounterMessages] == 0 || tot[trace.CounterBytesSent] == 0 {
+		t.Error("message counters must be nonzero for a parallel frame")
+	}
+
+	table := tr.Breakdown().Table()
+	for _, want := range []string{"io", "render", "composite", "total", "%total", "samples="} {
+		if !strings.Contains(table, want) {
+			t.Errorf("breakdown table missing %q:\n%s", want, table)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rank 7"`, `"cat":"io"`, `"cat":"render"`, `"cat":"composite"`, `"cat":"comm"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("chrome trace missing %s", want)
+		}
+	}
+}
+
+// TestRunRealTraceOffUnchanged checks a traced run and an untraced run
+// produce identical images — instrumentation must not perturb the
+// pipeline.
+func TestRunRealTraceOffUnchanged(t *testing.T) {
+	cfg := RealConfig{Scene: DefaultScene(32, 64), Procs: 4}
+	plain, err := RunReal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = trace.New(4)
+	traced, err := RunReal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Image.Pix) != len(traced.Image.Pix) {
+		t.Fatal("image size mismatch")
+	}
+	for i := range plain.Image.Pix {
+		if plain.Image.Pix[i] != traced.Image.Pix[i] {
+			t.Fatalf("pixel %d differs with tracing on", i)
+		}
+	}
+}
+
+// TestRunModelTraced checks model mode lays out a virtual timeline
+// whose stage spans sum to the virtual frame time.
+func TestRunModelTraced(t *testing.T) {
+	tr := trace.NewVirtual(1)
+	res, err := RunModel(ModelConfig{
+		Scene:  DefaultScene(256, 512),
+		Procs:  64,
+		Format: FormatRaw,
+		Trace:  tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tr.Breakdown()
+	if got, want := b.Total(), res.Times.IO+res.Times.Render+res.Times.Composite; !approxEq(got, want) {
+		t.Errorf("breakdown stage total = %v, want %v", got, want)
+	}
+	if b.PerRank[trace.PhaseIO].Mean() != res.Times.IO {
+		t.Errorf("io phase = %v, want %v", b.PerRank[trace.PhaseIO].Mean(), res.Times.IO)
+	}
+	tot := tr.Totals()
+	if tot[trace.CounterAccesses] != int64(res.IO.Accesses) {
+		t.Errorf("accesses counter = %d, want %d", tot[trace.CounterAccesses], res.IO.Accesses)
+	}
+	if tot[trace.CounterMessages] != int64(res.Messages) {
+		t.Errorf("messages counter = %d, want %d", tot[trace.CounterMessages], res.Messages)
+	}
+	// The pfs service decomposition must appear as nested io detail.
+	names := map[string]bool{}
+	for _, e := range tr.Events() {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"pfs-open", "pfs-stream", "pfs-access", "render", "composite"} {
+		if !names[want] {
+			t.Errorf("virtual trace missing %q span", want)
+		}
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+b)
+}

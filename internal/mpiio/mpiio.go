@@ -37,6 +37,7 @@ import (
 	"bgpvr/internal/comm"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/iotrace"
+	"bgpvr/internal/trace"
 	"bgpvr/internal/vfile"
 )
 
@@ -191,6 +192,9 @@ func min64(a, b int64) int64 {
 // it together. The physical reads (and only those) hit f, so passing a
 // vfile.Traced yields the Fig 9/10 access logs.
 func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]byte, error) {
+	tr := c.Trace()
+	sp := tr.Begin(trace.PhaseIO, "collective-read")
+	defer sp.End()
 	p := c.Size()
 	a := h.aggregators(p)
 	w := h.window()
@@ -238,6 +242,7 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 	}
 
 	// Request exchange: encode fragments as int64 pairs to aggregators.
+	reqSp := tr.Begin(trace.PhaseIO, "request-exchange")
 	reqBufs := make([][]byte, p)
 	for d := 0; d < a; d++ {
 		if len(frags[d]) == 0 {
@@ -250,8 +255,10 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 		reqBufs[AggRank(d, a, p)] = comm.I64sToBytes(enc)
 	}
 	reqs := c.Alltoallv(reqBufs)
+	reqSp.End()
 
 	// Aggregator work: decode requests, read windows, build replies.
+	aggSp := tr.Begin(trace.PhaseIO, "aggregator-read")
 	replies := make([][]byte, p)
 	myAggIdx := -1
 	for d := 0; d < a; d++ {
@@ -308,6 +315,8 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 				if _, err := f.ReadAt(b, rlo); err != nil && err != io.EOF {
 					return nil, fmt.Errorf("mpiio: aggregator read at %d: %w", rlo, err)
 				}
+				tr.Add(trace.CounterAccesses, 1)
+				tr.Add(trace.CounterBytesRead, rhi-rlo)
 				// Scatter the window's fragments to each source's reply.
 				for si := range srcs {
 					for cursor[si] < len(srcs[si].runs) {
@@ -333,10 +342,15 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 			}
 		}
 	}
+	aggSp.End()
+	scatSp := tr.Begin(trace.PhaseIO, "scatter")
 	got := c.Alltoallv(replies)
+	scatSp.End()
 
 	// Reassemble: fragments per aggregator arrive in offset order; walk
 	// my runs, consuming from the right aggregator's stream.
+	reasmSp := tr.Begin(trace.PhaseIO, "reassemble")
+	defer reasmSp.End()
 	var total int64
 	for _, r := range myRuns {
 		total += r.Length

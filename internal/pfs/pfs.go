@@ -88,21 +88,52 @@ type ReadJob struct {
 	MetaAccessesPerProc int
 }
 
-// ReadTime returns the modeled time of the job in seconds.
-func (p Params) ReadTime(j ReadJob) float64 {
+// Parts is ReadTime's decomposition into the storage-service
+// components of the model above, in service order. It is what the
+// model-mode tracer lays out as per-component I/O spans, mirroring how
+// the paper attributes I/O time to open/request/stream/seek costs.
+type Parts struct {
+	Open    float64 // collective open, layout, tokens
+	Request float64 // per-process request/token exchange
+	Stream  float64 // fabric/server byte streaming
+	Access  float64 // per-access request+seek across aggregators
+	Meta    float64 // small metadata reads across file servers
+}
+
+// Total sums the components (in field order, so it reproduces
+// ReadTime's historical floating-point result exactly).
+func (p Parts) Total() float64 {
+	t := p.Open
+	t += p.Request
+	t += p.Stream
+	t += p.Access
+	t += p.Meta
+	return t
+}
+
+// ReadTimeParts returns the modeled time of the job split into its
+// service components.
+func (p Params) ReadTimeParts(j ReadJob) Parts {
 	a := j.Aggregators
 	if a < 1 {
 		a = 1
 	}
-	t := p.OpenCost
-	t += float64(j.Procs) * p.PerProcOverhead
-	t += float64(j.PhysicalBytes) / p.AggBW(j.IONs)
-	t += float64(j.Accesses) / float64(a) * p.AccessLatency
+	parts := Parts{
+		Open:    p.OpenCost,
+		Request: float64(j.Procs) * p.PerProcOverhead,
+		Stream:  float64(j.PhysicalBytes) / p.AggBW(j.IONs),
+		Access:  float64(j.Accesses) / float64(a) * p.AccessLatency,
+	}
 	if j.MetaAccessesPerProc > 0 {
 		total := float64(j.MetaAccessesPerProc) * float64(j.Procs)
-		t += total / float64(p.Servers) * p.AccessLatency
+		parts.Meta = total / float64(p.Servers) * p.AccessLatency
 	}
-	return t
+	return parts
+}
+
+// ReadTime returns the modeled time of the job in seconds.
+func (p Params) ReadTime(j ReadJob) float64 {
+	return p.ReadTimeParts(j).Total()
 }
 
 // WriteTime returns the modeled time of a collective write with the

@@ -6,6 +6,7 @@ import (
 	"bgpvr/internal/geom"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/img"
+	"bgpvr/internal/trace"
 	"bgpvr/internal/volume"
 )
 
@@ -168,13 +169,25 @@ func castSegment(f *volume.Field, dims grid.IVec3, own *grid.Extent,
 // least the block's owned extent plus one ghost layer (clamped at the
 // volume boundary) so trilinear samples at owned positions are exact.
 func RenderBlock(f *volume.Field, own grid.Extent, cam Camera, tf *volume.Transfer, cfg Config) *Subimage {
+	return RenderBlockTraced(f, own, cam, tf, cfg, nil)
+}
+
+// RenderBlockTraced is RenderBlock with instrumentation: it wraps the
+// block in a render-phase span (mask construction gets its own) and
+// adds the block's sample count to the tracing handle's counter. A nil
+// handle costs nothing.
+func RenderBlockTraced(f *volume.Field, own grid.Extent, cam Camera, tf *volume.Transfer, cfg Config, tr *trace.Rank) *Subimage {
+	sp := tr.Begin(trace.PhaseRender, "render-block")
+	defer sp.End()
 	rect := ProjectedRect(cam, own)
 	sub := &Subimage{Rect: rect, Pix: make([]img.RGBA, rect.NumPixels())}
 	if rect.Empty() {
 		return sub
 	}
 	box := ownedBounds(own)
+	maskSp := tr.Begin(trace.PhaseRender, "build-mask")
 	mask := buildMask(f, tf, cfg)
+	maskSp.End()
 	sh := newShader(cfg.Shade, geom.V(float64(f.Dims.X-1), float64(f.Dims.Y-1), float64(f.Dims.Z-1)))
 	i := 0
 	for y := rect.Y0; y < rect.Y1; y++ {
@@ -188,6 +201,7 @@ func RenderBlock(f *volume.Field, own grid.Extent, cam Camera, tf *volume.Transf
 			i++
 		}
 	}
+	tr.Add(trace.CounterSamples, sub.Samples)
 	return sub
 }
 

@@ -1,0 +1,40 @@
+package trace
+
+import "testing"
+
+// BenchmarkSpanOff measures the instrumented-path cost with tracing
+// disabled (nil handle) — the price every Send/Recv pays in production.
+func BenchmarkSpanOff(b *testing.B) {
+	var r *Rank
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.Begin(PhaseComm, "recv")
+		r.Add(CounterMessages, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkSpanOn measures the cost of recording one span and counter
+// with tracing enabled.
+func BenchmarkSpanOn(b *testing.B) {
+	tr := New(1)
+	r := tr.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := r.Begin(PhaseComm, "recv")
+		r.Add(CounterMessages, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkCounterAdd isolates the counter increment.
+func BenchmarkCounterAdd(b *testing.B) {
+	tr := New(1)
+	r := tr.Rank(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Add(CounterBytesSent, 4096)
+	}
+}

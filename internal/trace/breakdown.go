@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"bgpvr/internal/stats"
+)
+
+// Breakdown is the cross-rank aggregation of a run: for every phase, a
+// stats.Summary over each rank's top-level (non-nested) seconds in
+// that phase, plus the counter totals. It is the data behind the
+// paper's Fig 5-7 stacked time breakdowns.
+type Breakdown struct {
+	// PerRank[p] summarizes the per-rank seconds spent in phase p.
+	// Only ranks that recorded at least one top-level span of the
+	// phase contribute an observation.
+	PerRank [NumPhases]stats.Summary
+	// Counters holds each counter summed across ranks.
+	Counters [NumCounters]int64
+	// Ranks is the tracer's rank count.
+	Ranks int
+}
+
+// Breakdown aggregates the recorded events and counters. Nested spans
+// (a span opened while another span of the same phase was open on the
+// same rank, e.g. a recv wait inside a barrier) are excluded so phase
+// time is not double-counted.
+func (t *Tracer) Breakdown() *Breakdown {
+	b := &Breakdown{Ranks: t.Size()}
+	if t == nil {
+		return b
+	}
+	perRank := make([]map[Phase]float64, t.Size())
+	for _, e := range t.Events() {
+		if e.Nested {
+			continue
+		}
+		if perRank[e.Rank] == nil {
+			perRank[e.Rank] = map[Phase]float64{}
+		}
+		perRank[e.Rank][e.Phase] += e.Dur
+	}
+	for _, m := range perRank {
+		for p, sec := range m {
+			b.PerRank[p].Add(sec)
+		}
+	}
+	b.Counters = t.Totals()
+	return b
+}
+
+// stagePhases are the phases that partition the end-to-end frame time;
+// comm nests inside them and is reported separately.
+var stagePhases = []Phase{PhaseIO, PhaseRender, PhaseComposite, PhaseOther}
+
+// Total returns the end-to-end time: the sum over stage phases of the
+// mean per-rank phase time (comm is nested inside the stages and not
+// added again).
+func (b *Breakdown) Total() float64 {
+	var tot float64
+	for _, p := range stagePhases {
+		tot += b.PerRank[p].Mean()
+	}
+	return tot
+}
+
+// Table renders the plain-text per-phase breakdown in the layout of
+// the paper's Figs 5-7: one row per stage with mean and max per-rank
+// time, load imbalance, and percentage of the end-to-end total, then
+// the nested communication time and the counters.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	noun := "ranks"
+	if b.Ranks == 1 {
+		noun = "rank"
+	}
+	fmt.Fprintf(&sb, "end-to-end breakdown (%d %s)\n", b.Ranks, noun)
+	fmt.Fprintf(&sb, "%-10s %12s %12s %8s %8s\n", "phase", "mean", "max", "imbal", "%total")
+	total := b.Total()
+	for _, p := range stagePhases {
+		s := b.PerRank[p]
+		if s.N == 0 {
+			continue
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * s.Mean() / total
+		}
+		fmt.Fprintf(&sb, "%-10s %12s %12s %8.2f %7.1f%%\n",
+			p, stats.Seconds(s.Mean()), stats.Seconds(s.MaxV), s.Imbalance(), pct)
+	}
+	fmt.Fprintf(&sb, "%-10s %12s\n", "total", stats.Seconds(total))
+	if s := b.PerRank[PhaseComm]; s.N > 0 {
+		fmt.Fprintf(&sb, "%-10s %12s %12s %8.2f   (nested within stages)\n",
+			"comm", stats.Seconds(s.Mean()), stats.Seconds(s.MaxV), s.Imbalance())
+	}
+	var parts []string
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := b.Counters[c]; v != 0 {
+			switch c {
+			case CounterBytesSent, CounterBytesRead:
+				parts = append(parts, fmt.Sprintf("%s=%s", c, stats.Bytes(v)))
+			default:
+				parts = append(parts, fmt.Sprintf("%s=%d", c, v))
+			}
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(&sb, "counters: %s\n", strings.Join(parts, "  "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteChrome emits the recorded events in the Chrome trace_event JSON
+// format (the "JSON Object Format" with a traceEvents array), loadable
+// in chrome://tracing and Perfetto. Each rank becomes one named thread
+// track inside a single process; spans are complete ("X") events with
+// microsecond timestamps. Output is deterministic for a given event
+// set: events are ordered by (rank, start, insertion).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	for r := 0; r < t.Size(); r++ {
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"rank %d"}}`, r, r))
+	}
+	for _, e := range t.Events() {
+		emit(fmt.Sprintf(`{"name":%s,"cat":"%s","ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s}`,
+			quoteJSON(e.Name), e.Phase, e.Rank, micros(e.Start), micros(e.Dur)))
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// micros renders seconds as a microsecond decimal with fixed precision
+// (nanosecond resolution), avoiding float exponent notation so the
+// output is stable across platforms.
+func micros(sec float64) string {
+	s := strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// quoteJSON escapes a span name; names are constant ASCII strings, so
+// only the characters strconv.Quote handles specially matter.
+func quoteJSON(s string) string { return strconv.Quote(s) }

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds the deterministic virtual trace behind the
+// golden file: two ranks, the three pipeline stages with nested comm
+// and per-block render spans.
+func goldenTracer() *Tracer {
+	tr := NewVirtual(2)
+	for r := 0; r < 2; r++ {
+		h := tr.Rank(r)
+		h.Emit(PhaseIO, "io", 0, 0.5)
+		h.Emit(PhaseComm, "alltoallv", 0.1, 0.05)
+		h.Emit(PhaseRender, "render", 0.5, 0.25)
+		h.EmitNested(PhaseRender, "render-block", 0.5, 0.2)
+		h.Emit(PhaseComposite, "direct-send", 0.75, 0.125)
+		h.Add(CounterMessages, 4)
+		h.Add(CounterBytesSent, 1<<20)
+	}
+	return tr
+}
+
+// TestChromeGolden pins the exporter's exact output. Regenerate with
+// go test ./internal/trace -run Golden -update.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeWellFormed checks the output parses as the Chrome JSON
+// object format with the expected track structure.
+func TestChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	meta, complete := 0, 0
+	tracks := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tracks[e.Tid] = true
+			if e.Dur <= 0 {
+				t.Errorf("event %q has non-positive dur %v", e.Name, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected event type %q", e.Ph)
+		}
+	}
+	if meta != 2 || complete != 10 {
+		t.Errorf("got %d metadata / %d complete events, want 2 / 10", meta, complete)
+	}
+	if len(tracks) != 2 {
+		t.Errorf("got %d rank tracks, want 2", len(tracks))
+	}
+}
