@@ -17,11 +17,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"bgpvr/internal/core"
+	"bgpvr/internal/machine"
 	"bgpvr/internal/mpiio"
 	"bgpvr/internal/stats"
+	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
 )
 
@@ -42,12 +46,16 @@ func main() {
 	out := flag.String("o", "", "output PPM path (real mode; %d inserted for -frames > 1)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the frame (chrome://tracing, Perfetto)")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase end-to-end breakdown table")
+	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry) on this address while the run executes")
+	perfReport := flag.String("perf-report", "", "write a machine-readable perf report (breakdown + telemetry + runtime stats) to this JSON file")
+	linkmap := flag.String("linkmap", "", "write the compositing phase's per-link contention map as <prefix>.csv and <prefix>.pgm (model mode)")
 	flag.Parse()
 
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
 		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
-		traceOut: *traceOut, breakdown: *breakdown}); err != nil {
+		traceOut: *traceOut, breakdown: *breakdown,
+		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
 	}
@@ -94,6 +102,9 @@ type runArgs struct {
 	out           string
 	traceOut      string
 	breakdown     bool
+	debugAddr     string
+	perfReport    string
+	linkmap       string
 }
 
 // finishTrace exports whatever the flags asked for after a traced run.
@@ -113,6 +124,52 @@ func finishTrace(a runArgs, tr *trace.Tracer) error {
 	return nil
 }
 
+// finishRun exports the trace artifacts and, when asked, the merged
+// perf report (trace breakdown + network/I/O telemetry + runtime
+// stats + the run's configuration).
+func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, totalSec float64, wallStart time.Time) error {
+	if err := finishTrace(a, tr); err != nil {
+		return err
+	}
+	if a.perfReport == "" {
+		return nil
+	}
+	r := telemetry.NewReport("bgpvr-" + a.mode)
+	r.Config = map[string]string{
+		"mode":   a.mode,
+		"n":      strconv.Itoa(a.n),
+		"img":    strconv.Itoa(a.imgSize),
+		"procs":  strconv.Itoa(a.procs),
+		"m":      strconv.Itoa(a.m),
+		"format": a.format,
+		"algo":   a.algo,
+	}
+	r.TotalSec = totalSec
+	if tr != nil {
+		r.AddBreakdown(tr.Breakdown())
+	}
+	r.AddNetTelemetry(nt)
+	r.AddRuntime(time.Since(wallStart).Seconds())
+	if err := r.WriteFile(a.perfReport); err != nil {
+		return fmt.Errorf("writing perf report: %w", err)
+	}
+	fmt.Printf("  perf report: %s\n", a.perfReport)
+	return nil
+}
+
+// writeLinkmap exports the model-mode compositing phase's per-link
+// contention map as CSV and PGM heatmaps plus a console summary.
+func writeLinkmap(a runArgs, mach machine.Machine, nt *telemetry.NetTelemetry) error {
+	top := mach.TorusFor(a.procs)
+	csvPath, pgmPath, err := telemetry.WriteHeatmapFiles(a.linkmap, top, nt.Links, telemetry.MetricFlows)
+	if err != nil {
+		return fmt.Errorf("writing linkmap: %w", err)
+	}
+	fmt.Printf("  linkmap:    %s, %s\n", csvPath, pgmPath)
+	fmt.Print(telemetry.UtilizationSummary(top, nt.Links))
+	return nil
+}
+
 func run(a runArgs) error {
 	mode, n, imgSize, procs, m := a.mode, a.n, a.imgSize, a.procs, a.m
 	format, path, algo, persp, window, out := a.format, a.path, a.algo, a.persp, a.window, a.out
@@ -126,16 +183,39 @@ func run(a runArgs) error {
 	scene.Shaded = a.shaded
 	hints := mpiio.Hints{CBBufferSize: window}
 
-	wantTrace := a.traceOut != "" || a.breakdown
+	wantTrace := a.traceOut != "" || a.breakdown || a.perfReport != ""
+	wantNet := a.perfReport != "" || a.linkmap != "" || a.debugAddr != ""
+	if a.linkmap != "" && mode != "model" {
+		return fmt.Errorf("-linkmap requires -mode model")
+	}
+	var nt *telemetry.NetTelemetry
+	if wantNet {
+		nt = &telemetry.NetTelemetry{}
+	}
+	var tr *trace.Tracer
+	if wantTrace {
+		if mode == "model" {
+			tr = trace.NewVirtual(1)
+		} else {
+			tr = trace.New(procs)
+		}
+	}
+	if a.debugAddr != "" {
+		srv, err := telemetry.StartDebug(a.debugAddr, tr, nt)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry)\n", srv.Addr)
+	}
+	wallStart := time.Now()
 
 	switch mode {
 	case "model":
-		var tr *trace.Tracer
-		if wantTrace {
-			tr = trace.NewVirtual(1)
-		}
+		mach := machine.NewBGP()
 		res, err := core.RunModel(core.ModelConfig{
-			Scene: scene, Procs: procs, Compositors: m, Format: f, Hints: hints, Trace: tr})
+			Scene: scene, Procs: procs, Compositors: m, Format: f, Hints: hints,
+			Machine: mach, Trace: tr, Net: nt})
 		if err != nil {
 			return err
 		}
@@ -152,15 +232,16 @@ func run(a runArgs) error {
 			fmt.Printf("  physical I/O: %s in %d accesses (density %.3f)\n",
 				stats.Bytes(res.IO.PhysicalBytes), res.IO.Accesses, res.IO.Density())
 		}
-		return finishTrace(a, tr)
+		if a.linkmap != "" {
+			if err := writeLinkmap(a, mach, nt); err != nil {
+				return err
+			}
+		}
+		return finishRun(a, tr, nt, res.Times.Total, wallStart)
 
 	case "real":
-		var tr *trace.Tracer
-		if wantTrace {
-			tr = trace.New(procs)
-		}
 		cfg := core.RealConfig{Scene: scene, Procs: procs, Compositors: m, Format: f,
-			Hints: hints, GhostExchange: ghostExchange, Trace: tr}
+			Hints: hints, GhostExchange: ghostExchange, Trace: tr, Net: nt}
 		switch algo {
 		case "direct":
 			cfg.Algo = core.CompositeDirectSend
@@ -205,7 +286,7 @@ func run(a runArgs) error {
 			for _, p := range seq.Images {
 				fmt.Println("  image:", p)
 			}
-			return finishTrace(a, tr)
+			return finishRun(a, tr, nt, tot.Total, wallStart)
 		}
 		res, err := core.RunReal(cfg)
 		if err != nil {
@@ -229,7 +310,7 @@ func run(a runArgs) error {
 			}
 			fmt.Printf("  image:      %s\n", out)
 		}
-		return finishTrace(a, tr)
+		return finishRun(a, tr, nt, res.Times.Total, wallStart)
 	}
 	return fmt.Errorf("unknown mode %q", mode)
 }

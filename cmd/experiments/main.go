@@ -18,24 +18,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"bgpvr/internal/bench"
 	"bgpvr/internal/core"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/stats"
+	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
 )
 
 // tracedFrame runs one model-mode frame of the paper's base workload
 // with a virtual tracer and exports what the flags asked for.
-func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool) error {
+func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfReport string) error {
+	wallStart := time.Now()
 	tr := trace.NewVirtual(1)
+	var nt *telemetry.NetTelemetry
+	if perfReport != "" {
+		nt = &telemetry.NetTelemetry{}
+	}
 	res, err := core.RunModel(core.ModelConfig{
 		Scene:  core.DefaultScene(n, imgSize),
 		Procs:  procs,
 		Format: core.FormatRaw,
 		Trace:  tr,
+		Net:    nt,
 	})
 	if err != nil {
 		return err
@@ -51,16 +60,36 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool) error {
 		}
 		fmt.Printf("trace: %s (open in chrome://tracing or Perfetto)\n", traceOut)
 	}
+	if perfReport != "" {
+		r := telemetry.NewReport("experiments-frame")
+		r.Config = map[string]string{
+			"mode":   "model",
+			"n":      strconv.Itoa(n),
+			"img":    strconv.Itoa(imgSize),
+			"procs":  strconv.Itoa(procs),
+			"format": "raw",
+		}
+		r.TotalSec = res.Times.Total
+		r.AddBreakdown(tr.Breakdown())
+		r.AddNetTelemetry(nt)
+		r.AddRuntime(time.Since(wallStart).Seconds())
+		if err := r.WriteFile(perfReport); err != nil {
+			return fmt.Errorf("writing perf report: %w", err)
+		}
+		fmt.Printf("perf report: %s\n", perfReport)
+	}
 	return nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap)")
 	traceOut := flag.String("trace", "", "trace one base-config model frame to this Chrome trace_event JSON instead of running experiments")
 	breakdown := flag.Bool("breakdown", false, "print the traced frame's per-phase breakdown table instead of running experiments")
-	procs := flag.Int("procs", 16384, "cores for the traced frame (-trace/-breakdown)")
+	procs := flag.Int("procs", 16384, "cores for the traced frame (-trace/-breakdown) or -exp linkmap")
 	n := flag.Int("n", 1120, "volume grid size n^3 for the traced frame")
 	imgSize := flag.Int("img", 1600, "image size for the traced frame")
+	perfReport := flag.String("perf-report", "", "write the traced frame's perf report (breakdown + telemetry + runtime) to this JSON file")
+	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry) while running")
 	flag.Parse()
 
 	mach := machine.NewBGP()
@@ -69,10 +98,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	if *traceOut != "" || *breakdown {
-		if err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown); err != nil {
+	if *debugAddr != "" {
+		srv, err := telemetry.StartDebug(*debugAddr, nil, nil)
+		if err != nil {
 			fail(err)
 		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry)\n", srv.Addr)
+	}
+	if *traceOut != "" || *breakdown || *perfReport != "" {
+		if err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown, *perfReport); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *exp == "linkmap" {
+		_, s, err := bench.LinkContention(mach, *procs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(s)
 		return
 	}
 	section := func(s string) {

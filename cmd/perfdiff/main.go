@@ -1,0 +1,63 @@
+// Command perfdiff compares two perf reports written by -perf-report
+// (schema telemetry.ReportSchema) and flags regressions: timing
+// metrics present in both reports that got slower by more than the
+// threshold. CI runs it against a checked-in baseline so a PR that
+// slows a modeled frame down is visible in the job log.
+//
+// Usage:
+//
+//	perfdiff [-threshold 10] [-warn] old.json new.json
+//
+// Exit status: 0 when no metric regressed (or -warn is set), 2 when at
+// least one did, 1 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bgpvr/internal/stats"
+	"bgpvr/internal/telemetry"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI warn-only mode)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-warn] old.json new.json")
+		os.Exit(1)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "perfdiff:", err)
+		os.Exit(1)
+	}
+	old, err := telemetry.ReadReport(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	cur, err := telemetry.ReadReport(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	deltas := telemetry.CompareReports(old, cur, *threshold/100)
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-28s %12s -> %12s  %+6.1f%%%s\n",
+			d.Metric, stats.Seconds(d.Old), stats.Seconds(d.New), 100*d.Change(), mark)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d metric(s) regressed beyond %.0f%% (%s vs %s)\n",
+			regressions, *threshold, flag.Arg(0), flag.Arg(1))
+		if !*warn {
+			os.Exit(2)
+		}
+		fmt.Println("warn-only mode: not failing")
+	}
+}

@@ -23,6 +23,7 @@ const (
 func (c *Comm) Barrier() {
 	sp := c.tr.Begin(trace.PhaseComm, "barrier")
 	defer sp.End()
+	c.w.net.ObserveCollective(0)
 	p := c.Size()
 	for k := 1; k < p; k <<= 1 {
 		dst := (c.rank + k) % p
@@ -58,6 +59,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 			c.Send((vrank+mask+root)%p, tagBcast, data)
 		}
 	}
+	c.w.net.ObserveCollective(int64(len(data)))
 	return data
 }
 
@@ -95,6 +97,7 @@ func OpMax(dst, src []float64) {
 func (c *Comm) Reduce(root int, vals []float64, op ReduceOp) []float64 {
 	sp := c.tr.Begin(trace.PhaseComm, "reduce")
 	defer sp.End()
+	c.w.net.ObserveCollective(8 * int64(len(vals)))
 	p := c.Size()
 	vrank := (c.rank - root + p) % p
 	acc := append([]float64(nil), vals...)
@@ -138,6 +141,7 @@ func (c *Comm) Allreduce(vals []float64, op ReduceOp) []float64 {
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	sp := c.tr.Begin(trace.PhaseComm, "gather")
 	defer sp.End()
+	c.w.net.ObserveCollective(int64(len(data)))
 	if c.rank != root {
 		c.Send(root, tagGather, data)
 		return nil
@@ -161,6 +165,11 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	if len(bufs) != p {
 		panic(fmt.Sprintf("comm: Alltoallv needs %d buffers, got %d", p, len(bufs)))
 	}
+	var total int64
+	for _, b := range bufs {
+		total += int64(len(b))
+	}
+	c.w.net.ObserveCollective(total)
 	out := make([][]byte, p)
 	out[c.rank] = bufs[c.rank]
 	for step := 1; step < p; step++ {
@@ -179,6 +188,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 func (c *Comm) ExScan(v float64) float64 {
 	sp := c.tr.Begin(trace.PhaseComm, "exscan")
 	defer sp.End()
+	c.w.net.ObserveCollective(8)
 	p := c.Size()
 	// Simple binomial up-sweep is overkill at our scales; use a
 	// dissemination scan: after round k, each rank holds the sum of the

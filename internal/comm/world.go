@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
 )
 
@@ -56,6 +57,7 @@ type World struct {
 	stats  TrafficStats
 
 	tracer *trace.Tracer
+	net    *telemetry.NetTelemetry
 }
 
 // NewWorld creates a communicator with p ranks. p must be >= 1.
@@ -92,6 +94,13 @@ func (w *World) ResetStats() {
 // The default (nil) tracer keeps every instrumented path a free no-op.
 // Call before Run.
 func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
+
+// SetNetTelemetry attaches a network-telemetry sink: Send histograms
+// every payload size, the collectives histogram their per-call
+// payloads, and the MPI-IO aggregators record their physical access
+// sizes. The default (nil) sink keeps every instrumented path a free
+// no-op. Call before Run.
+func (w *World) SetNetTelemetry(nt *telemetry.NetTelemetry) { w.net = nt }
 
 // Run executes fn concurrently on every rank and waits for all of them.
 // The first non-nil error (or recovered panic) is returned; remaining
@@ -151,6 +160,11 @@ func (c *Comm) Rank() int { return c.rank }
 // runtime can record their own spans and counters.
 func (c *Comm) Trace() *trace.Rank { return c.tr }
 
+// Net returns the world's network-telemetry sink — nil (a valid no-op
+// sink) when none is attached — so the layers above the runtime (the
+// MPI-IO aggregators, compositors) can record their own histograms.
+func (c *Comm) Net() *telemetry.NetTelemetry { return c.w.net }
+
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.w.size }
 
@@ -167,6 +181,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	c.w.statMu.Unlock()
 	c.tr.Add(trace.CounterMessages, 1)
 	c.tr.Add(trace.CounterBytesSent, int64(len(data)))
+	c.w.net.ObserveSend(int64(len(data)))
 
 	b := c.w.boxes[dst]
 	b.mu.Lock()

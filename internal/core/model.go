@@ -13,6 +13,7 @@ import (
 	"bgpvr/internal/pfs"
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
+	"bgpvr/internal/telemetry"
 	"bgpvr/internal/torus"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/tree"
@@ -41,6 +42,13 @@ type ModelConfig struct {
 	// and counters for the planned traffic. Create with
 	// trace.NewVirtual(1).
 	Trace *trace.Tracer
+	// Net, when non-nil, receives the modeled frame's network and I/O
+	// telemetry: the compositing schedule's message-size histogram,
+	// the planned physical accesses' size histogram, the tree-network
+	// barrier ops, and — in Net.Links, allocated here to match the
+	// partition's torus — the compositing phase's per-link contention
+	// map.
+	Net *telemetry.NetTelemetry
 }
 
 // ModelResult reports the virtual timings and the quantities behind
@@ -100,6 +108,11 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 		}
 		plan := mpiio.BuildPlan(union, hints)
 		res.IO = plan.Stats()
+		if cfg.Net != nil {
+			for _, acc := range plan.Accesses {
+				cfg.Net.ObserveAccess(acc.Length)
+			}
+		}
 		job := pfs.ReadJob{
 			PhysicalBytes:       res.IO.PhysicalBytes,
 			Accesses:            res.IO.Accesses,
@@ -159,7 +172,16 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 	if len(msgs) > 0 {
 		res.MeanMessageBytes = float64(msgBytes) / float64(len(msgs))
 	}
-	res.Composite = mach.PhaseOnTorus(cfg.Procs, msgs, !cfg.NoContention)
+	var linkRec torus.LinkRecorder
+	if cfg.Net != nil {
+		top := mach.TorusFor(cfg.Procs)
+		cfg.Net.Links = telemetry.NewLinkUsage(top.NumLinks(), mach.Torus.LinkBandwidth)
+		linkRec = cfg.Net.Links
+		for _, mm := range msgs {
+			cfg.Net.ObserveSend(mm.Bytes)
+		}
+	}
+	res.Composite = mach.PhaseOnTorusRecorded(cfg.Procs, msgs, !cfg.NoContention, machine.PlacementBlock, linkRec)
 	// Local blending of received fragments, pipelined with arrival:
 	// charge the busiest compositor's pixels at a calibrated blend rate.
 	const blendSecondsPerPixel = 25e-9
@@ -168,6 +190,11 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 
 	barriers := 2 * tree.BarrierTime(mach.Tree, mach.Nodes(cfg.Procs))
 	res.Times.Total = res.Times.IO + res.Times.Render + res.Times.Composite + barriers
+	if cfg.Net != nil {
+		cfg.Net.Links.SetDuration(res.Times.Composite)
+		cfg.Net.ObserveTree(tree.OpBarrier, 0)
+		cfg.Net.ObserveTree(tree.OpBarrier, 0)
+	}
 
 	// Lay the modeled frame out as a virtual timeline: the pfs service
 	// decomposition inside the io stage, then render, composite and the

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"bgpvr/internal/telemetry"
+	"bgpvr/internal/tree"
+)
+
+// The paper's improved compositor count exists to relieve network
+// contention: with fewer, larger messages the most contended torus
+// link carries far fewer concurrent flows. The telemetry must show it.
+func TestModelLinkContentionImprovedCompositors(t *testing.T) {
+	const procs = 2048
+	peak := func(m int) int32 {
+		nt := &telemetry.NetTelemetry{}
+		_, err := RunModel(ModelConfig{
+			Scene: DefaultScene(256, 512), Procs: procs, Compositors: m,
+			Format: FormatGenerate, Net: nt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, _ := nt.Links.MaxFlows()
+		return mf
+	}
+	original := peak(procs) // m = n
+	improved := peak(1024)  // the paper's improved rule at 2048 cores
+	if improved >= original {
+		t.Fatalf("peak concurrent flows: m<n %d, m=n %d; improved rule should relieve contention", improved, original)
+	}
+	if float64(improved) > 0.8*float64(original) {
+		t.Errorf("peak concurrent flows only dropped %d -> %d; expected a clear reduction", original, improved)
+	}
+}
+
+func TestModelTelemetryPopulated(t *testing.T) {
+	nt := &telemetry.NetTelemetry{}
+	res, err := RunModel(ModelConfig{
+		Scene: DefaultScene(128, 256), Procs: 64, Format: FormatRaw, Net: nt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nt.SendSizes.Count(); got != int64(res.Messages) {
+		t.Errorf("send histogram has %d observations, want one per message (%d)", got, res.Messages)
+	}
+	if got := nt.AccessSizes.Count(); got != int64(res.IO.Accesses) {
+		t.Errorf("access histogram has %d observations, want one per access (%d)", got, res.IO.Accesses)
+	}
+	if nt.Links.Links() == 0 {
+		t.Fatal("no link usage recorded")
+	}
+	if nt.Links.Duration != res.Times.Composite {
+		t.Errorf("link duration %v, want composite time %v", nt.Links.Duration, res.Times.Composite)
+	}
+	if nt.Links.TotalBytes() == 0 {
+		t.Error("no link bytes recorded")
+	}
+	if nt.Tree.Ops[tree.OpBarrier] != 2 {
+		t.Errorf("tree barriers = %d, want 2 (the stage barriers)", nt.Tree.Ops[tree.OpBarrier])
+	}
+}
+
+// Telemetry must be purely observational: the modeled times with it on
+// are bit-identical to the times with it off.
+func TestModelTelemetryBitIdentical(t *testing.T) {
+	cfg := ModelConfig{Scene: DefaultScene(128, 256), Procs: 128, Format: FormatRaw}
+	plain, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net = &telemetry.NetTelemetry{}
+	traced, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Times != traced.Times {
+		t.Errorf("telemetry perturbed the model: %+v != %+v", traced.Times, plain.Times)
+	}
+	if plain.Composite != traced.Composite {
+		t.Errorf("telemetry perturbed the phase stats: %+v != %+v", traced.Composite, plain.Composite)
+	}
+}

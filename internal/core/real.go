@@ -16,6 +16,7 @@ import (
 	"bgpvr/internal/rawfmt"
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
+	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/vfile"
 	"bgpvr/internal/volume"
@@ -69,6 +70,11 @@ type RealConfig struct {
 	// compose internals). Create with trace.New(Procs). The caller owns
 	// export; nil costs nothing.
 	Trace *trace.Tracer
+	// Net, when non-nil, receives the run's network and I/O telemetry:
+	// point-to-point and collective payload-size histograms from the
+	// comm runtime and the MPI-IO aggregators' physical access sizes.
+	// nil costs nothing.
+	Net *telemetry.NetTelemetry
 }
 
 // RealResult is the outcome of one real-mode frame.
@@ -152,6 +158,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 
 	world := comm.NewWorld(cfg.Procs)
 	world.SetTracer(cfg.Trace)
+	world.SetNetTelemetry(cfg.Net)
 	err := world.Run(func(c *comm.Comm) error {
 		rank := c.Rank()
 		tr := c.Trace()

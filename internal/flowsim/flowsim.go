@@ -15,6 +15,7 @@ package flowsim
 import (
 	"math"
 
+	"bgpvr/internal/telemetry"
 	"bgpvr/internal/torus"
 )
 
@@ -31,6 +32,18 @@ type Result struct {
 // endpoint overheads (SendOverhead+RecvOverhead) delay each flow's
 // completion additively; self-messages cost only their overheads.
 func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
+	return SimulateTelemetry(top, p, msgs, nil)
+}
+
+// SimulateTelemetry is Simulate with optional per-link telemetry: when
+// u is non-nil it accumulates, per directed link, the payload carried
+// (bytes cross every link of their route), the number of concurrent
+// flows, how often the link was the max-min bottleneck, and the time
+// it spent occupied by at least one unfinished flow; u's Capacity and
+// Duration are set from the phase. u == nil is exactly Simulate: the
+// telemetry hooks allocate nothing and leave the simulated times
+// bit-identical.
+func SimulateTelemetry(top torus.Topology, p torus.Params, msgs []torus.Message, u *telemetry.LinkUsage) Result {
 	type flow struct {
 		links     []int
 		remaining float64
@@ -40,7 +53,13 @@ func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
 	}
 	flows := make([]flow, 0, len(msgs))
 	var overheadMax float64
-	linkFlows := make([][]int, top.NumLinks())
+	nlinks := top.NumLinks()
+	linkFlows := make([][]int, nlinks)
+	var activeOnLink []int32 // live unfinished-flow count per link (telemetry only)
+	if u != nil {
+		u.Capacity = p.LinkBandwidth
+		activeOnLink = make([]int32, nlinks)
+	}
 	for _, m := range msgs {
 		oh := p.SendOverhead + p.RecvOverhead
 		if oh > overheadMax {
@@ -56,16 +75,25 @@ func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
 		for _, l := range links {
 			linkFlows[l] = append(linkFlows[l], fi)
 		}
+		if u != nil {
+			for _, l := range links {
+				u.RecordLink(l, m.Bytes)
+				activeOnLink[l]++
+			}
+		}
 	}
 
 	res := Result{Completions: len(flows)}
 	now := 0.0
 	active := len(flows)
+	// The per-iteration max-min state is hoisted out of the completion
+	// loop and reset in place, so one Simulate call allocates a fixed
+	// number of slices regardless of how many events it processes.
+	avail := make([]float64, nlinks)
+	unfrozen := make([]int, nlinks)
 	for active > 0 {
 		// Max-min fair allocation: repeatedly freeze the flows crossing
 		// the currently most-contended link at its fair share.
-		avail := make([]float64, top.NumLinks())
-		unfrozen := make([]int, top.NumLinks())
 		for l := range avail {
 			avail[l] = p.LinkBandwidth
 			unfrozen[l] = 0
@@ -96,6 +124,7 @@ func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
 			if bott < 0 {
 				break // flows with no links (cannot happen; guarded above)
 			}
+			u.AddBottleneck(bott)
 			for _, fi := range linkFlows[bott] {
 				f := &flows[fi]
 				if f.frozen {
@@ -130,6 +159,13 @@ func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
 			break // starved flows: cannot progress (zero bandwidth)
 		}
 		now += dt
+		if u != nil {
+			for l, n := range activeOnLink {
+				if n > 0 {
+					u.AddBusy(l, dt)
+				}
+			}
+		}
 		for fi := range flows {
 			f := &flows[fi]
 			if f.done {
@@ -139,9 +175,15 @@ func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
 			if f.remaining <= 1e-9 {
 				f.done = true
 				active--
+				if u != nil {
+					for _, l := range f.links {
+						activeOnLink[l]--
+					}
+				}
 			}
 		}
 	}
 	res.Time = now + overheadMax + p.RouteLatency
+	u.SetDuration(res.Time)
 	return res
 }

@@ -94,6 +94,14 @@ func (m Machine) PhaseOnTorus(p int, msgs []compose.RankMessage, contention bool
 
 // PhaseOnTorusPlaced is PhaseOnTorus under an explicit rank placement.
 func (m Machine) PhaseOnTorusPlaced(p int, msgs []compose.RankMessage, contention bool, pl Placement) torus.PhaseStats {
+	return m.PhaseOnTorusRecorded(p, msgs, contention, pl, nil)
+}
+
+// PhaseOnTorusRecorded is PhaseOnTorusPlaced with optional per-link
+// telemetry: a non-nil rec (typically *telemetry.LinkUsage sized to
+// TorusFor(p).NumLinks()) receives every node-folded message's
+// per-link load. rec == nil adds nothing.
+func (m Machine) PhaseOnTorusRecorded(p int, msgs []compose.RankMessage, contention bool, pl Placement, rec torus.LinkRecorder) torus.PhaseStats {
 	top := m.TorusFor(p)
 	nodeOf := m.RankToNode(p, pl)
 	nm := make([]torus.Message, len(msgs))
@@ -103,7 +111,7 @@ func (m Machine) PhaseOnTorusPlaced(p int, msgs []compose.RankMessage, contentio
 		}
 		nm[i] = torus.Message{Src: nodeOf[mm.Src], Dst: nodeOf[mm.Dst], Bytes: mm.Bytes}
 	}
-	return torus.Phase(top, m.Torus, nm, contention)
+	return torus.PhaseRecorded(top, m.Torus, nm, contention, rec)
 }
 
 // ImprovedCompositors returns the paper's empirically chosen compositor

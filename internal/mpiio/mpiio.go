@@ -317,6 +317,7 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 				}
 				tr.Add(trace.CounterAccesses, 1)
 				tr.Add(trace.CounterBytesRead, rhi-rlo)
+				c.Net().ObserveAccess(rhi - rlo)
 				// Scatter the window's fragments to each source's reply.
 				for si := range srcs {
 					for cursor[si] < len(srcs[si].runs) {

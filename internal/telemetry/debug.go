@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"bgpvr/internal/trace"
+)
+
+// Snapshot is the live view served at /telemetry and published through
+// expvar: the trace counter totals plus histogram and link-usage
+// aggregates. It is rebuilt on every request, so a long model sweep
+// can be watched while it runs.
+type Snapshot struct {
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Histograms []HistogramStat  `json:"histograms,omitempty"`
+	Network    *NetworkStat     `json:"network,omitempty"`
+}
+
+// snapshotSource is what the debug server reads on each request. The
+// expvar publication reads it through a package-level atomic so that
+// restarting a server (tests, repeated runs) never re-publishes a
+// duplicate var.
+type snapshotSource struct {
+	tracer *trace.Tracer
+	net    *NetTelemetry
+}
+
+func (s *snapshotSource) snapshot() Snapshot {
+	var snap Snapshot
+	if s == nil {
+		return snap
+	}
+	if s.tracer != nil {
+		tot := s.tracer.Totals()
+		snap.Counters = map[string]int64{}
+		for c := trace.Counter(0); c < trace.NumCounters; c++ {
+			if tot[c] != 0 {
+				snap.Counters[c.String()] = tot[c]
+			}
+		}
+	}
+	if s.net != nil {
+		var r Report
+		r.AddNetTelemetry(s.net)
+		snap.Histograms = r.Histograms
+		snap.Network = r.Network
+	}
+	return snap
+}
+
+var (
+	expvarOnce sync.Once
+	expvarSrc  atomic.Pointer[snapshotSource]
+)
+
+// DebugServer is the opt-in -debug-addr HTTP endpoint: net/http/pprof
+// under /debug/pprof/, expvar under /debug/vars (including a "bgpvr"
+// var with the live telemetry snapshot), and the JSON snapshot at
+// /telemetry.
+type DebugServer struct {
+	Addr string // the bound address (resolves ":0")
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// StartDebug binds addr and serves the debug endpoint in the
+// background until Close. tracer and nt may be nil; whatever is
+// present appears in the snapshot.
+func StartDebug(addr string, tracer *trace.Tracer, nt *NetTelemetry) (*DebugServer, error) {
+	src := &snapshotSource{tracer: tracer, net: nt}
+	expvarSrc.Store(src)
+	expvarOnce.Do(func() {
+		expvar.Publish("bgpvr", expvar.Func(func() any {
+			return expvarSrc.Load().snapshot()
+		}))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(src.snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry\n")
+	})
+	s := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"bgpvr/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestDebugServer(t *testing.T) {
+	tr := trace.NewVirtual(1)
+	tr.Rank(0).Add(trace.CounterMessages, 7)
+	nt := &NetTelemetry{}
+	nt.ObserveSend(1024)
+	_, u := goldenUsage()
+	nt.Links = u
+
+	srv, err := StartDebug("127.0.0.1:0", tr, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/telemetry")
+	if code != http.StatusOK {
+		t.Fatalf("/telemetry status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/telemetry not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["messages"] != 7 {
+		t.Errorf("snapshot counters = %v", snap.Counters)
+	}
+	if len(snap.Histograms) == 0 || snap.Histograms[0].Name != "send_sizes" {
+		t.Errorf("snapshot histograms = %+v", snap.Histograms)
+	}
+	if snap.Network == nil || snap.Network.ActiveLinks == 0 {
+		t.Errorf("snapshot network = %+v", snap.Network)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, `"bgpvr"`) {
+		t.Errorf("/debug/vars status %d, bgpvr var present: %v", code, strings.Contains(body, `"bgpvr"`))
+	}
+	code, body = get(t, base+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/telemetry") {
+		t.Errorf("index status %d body %q", code, body)
+	}
+	if code, _ := get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second server must not panic on duplicate expvar publication and
+	// must serve the new source.
+	tr2 := trace.NewVirtual(1)
+	tr2.Rank(0).Add(trace.CounterMessages, 99)
+	srv2, err := StartDebug("127.0.0.1:0", tr2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	_, body = get(t, "http://"+srv2.Addr+"/debug/vars")
+	if !strings.Contains(body, `"messages": 99`) && !strings.Contains(body, `"messages":99`) {
+		t.Errorf("expvar snapshot not re-pointed at new source:\n%s", body)
+	}
+}
+
+func TestDebugServerNilClose(t *testing.T) {
+	var s *DebugServer
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if _, err := StartDebug("256.0.0.1:99999", nil, nil); err == nil {
+		t.Error("bad address accepted")
+	}
+}

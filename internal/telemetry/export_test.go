@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpvr/internal/torus"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenUsage builds the deterministic link usage behind the golden
+// files: a 2x2x2 torus with a handful of routed messages plus busy and
+// bottleneck annotations.
+func goldenUsage() (torus.Topology, *LinkUsage) {
+	top := torus.NewTopology(8)
+	u := NewLinkUsage(top.NumLinks(), 1000)
+	for _, m := range []torus.Message{
+		{Src: 0, Dst: 7, Bytes: 600},
+		{Src: 0, Dst: 3, Bytes: 400},
+		{Src: 5, Dst: 6, Bytes: 250},
+		{Src: 1, Dst: 0, Bytes: 100},
+	} {
+		top.Route(m.Src, m.Dst, func(l int) { u.RecordLink(l, m.Bytes) })
+	}
+	u.AddBottleneck(torus.LinkIndex(0, 0))
+	u.AddBusy(torus.LinkIndex(0, 0), 0.5)
+	u.SetDuration(2)
+	return top, u
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestHeatmapCSVGolden pins the exporter's exact output. Regenerate
+// with go test ./internal/telemetry -run Golden -update.
+func TestHeatmapCSVGolden(t *testing.T) {
+	top, u := goldenUsage()
+	var buf bytes.Buffer
+	if err := WriteHeatmapCSV(&buf, top, u); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "heatmap_golden.csv", buf.Bytes())
+}
+
+func TestHeatmapPGMGolden(t *testing.T) {
+	top, u := goldenUsage()
+	var buf bytes.Buffer
+	if err := WriteHeatmapPGM(&buf, top, u, MetricFlows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+	checkGolden(t, "heatmap_golden.pgm", got)
+	// P2 sanity: header plus Y*Z rows of X values each.
+	lines := strings.Split(strings.TrimRight(string(got), "\n"), "\n")
+	if lines[0] != "P2" {
+		t.Errorf("magic = %q", lines[0])
+	}
+	rows := lines[4:]
+	if len(rows) != top.Dims.Y*top.Dims.Z {
+		t.Errorf("%d pixel rows, want %d", len(rows), top.Dims.Y*top.Dims.Z)
+	}
+	for _, r := range rows {
+		if n := len(strings.Fields(r)); n != top.Dims.X {
+			t.Errorf("row %q has %d values, want %d", r, n, top.Dims.X)
+		}
+	}
+}
+
+func TestWriteHeatmapFiles(t *testing.T) {
+	top, u := goldenUsage()
+	base := filepath.Join(t.TempDir(), "links")
+	csvPath, pgmPath, err := WriteHeatmapFiles(base, top, u, MetricBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{csvPath, pgmPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("heatmap file %s missing or empty (%v)", p, err)
+		}
+	}
+}
+
+func TestHottestLinks(t *testing.T) {
+	top, u := goldenUsage()
+	s := HottestLinks(top, u, 3)
+	if !strings.Contains(s, "hottest links (3 of") {
+		t.Errorf("header missing: %q", s)
+	}
+	// The heaviest link is node 0's +X (600 + 400 routed through it).
+	if !strings.Contains(s, "(  0,  0,  0) +X") {
+		t.Errorf("heaviest link row missing:\n%s", s)
+	}
+	if got := HottestLinks(top, NewLinkUsage(0, 0), 3); got != "(no link telemetry)\n" {
+		t.Errorf("empty usage = %q", got)
+	}
+}
+
+func TestUtilizationSummary(t *testing.T) {
+	top, u := goldenUsage()
+	s := UtilizationSummary(top, u)
+	for _, want := range []string{"link usage:", "heaviest link:", "most contended:", "peak utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	for m, want := range map[Metric]string{
+		MetricBytes: "bytes", MetricUtilization: "utilization", MetricFlows: "flows", Metric(99): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("Metric(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}

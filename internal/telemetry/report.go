@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"bgpvr/internal/trace"
+	"bgpvr/internal/tree"
+)
+
+// ReportSchema is the perf-report schema version. Bump it on any
+// incompatible change to Report's JSON layout; cmd/perfdiff refuses to
+// compare reports with different schemas.
+const ReportSchema = 1
+
+// Report is the machine-readable perf record of one run: the trace
+// breakdown, telemetry aggregates, runtime/alloc stats, and the run
+// configuration, merged into one versioned document. CI stores these
+// as artifacts (the BENCH_*.json trajectory) and cmd/perfdiff compares
+// two of them.
+type Report struct {
+	Schema int    `json:"schema"`
+	Label  string `json:"label,omitempty"`
+	// Config is the run configuration as flat name/value pairs
+	// (mode, procs, format, ...). Maps marshal with sorted keys, so
+	// the output is deterministic.
+	Config     map[string]string `json:"config,omitempty"`
+	TotalSec   float64           `json:"total_sec"`
+	Phases     []PhaseStat       `json:"phases,omitempty"`
+	Counters   map[string]int64  `json:"counters,omitempty"`
+	Histograms []HistogramStat   `json:"histograms,omitempty"`
+	Network    *NetworkStat      `json:"network,omitempty"`
+	Runtime    *RuntimeStat      `json:"runtime,omitempty"`
+}
+
+// PhaseStat is one pipeline phase's per-rank time summary.
+type PhaseStat struct {
+	Name      string  `json:"name"`
+	MeanSec   float64 `json:"mean_sec"`
+	MaxSec    float64 `json:"max_sec"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// HistogramStat is one size histogram with only its non-empty buckets.
+type HistogramStat struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	SumB    int64        `json:"sum_bytes"`
+	Buckets []BucketStat `json:"buckets,omitempty"`
+}
+
+// BucketStat is one non-empty log2 bucket.
+type BucketStat struct {
+	LoB   int64 `json:"lo_bytes"`
+	HiB   int64 `json:"hi_bytes"`
+	Count int64 `json:"count"`
+}
+
+// NetworkStat summarizes a phase's per-link usage.
+type NetworkStat struct {
+	Links            int     `json:"links"`
+	ActiveLinks      int     `json:"active_links"`
+	TotalLinkBytes   int64   `json:"total_link_bytes"`
+	MaxLinkBytes     int64   `json:"max_link_bytes"`
+	MaxLinkFlows     int32   `json:"max_link_flows"`
+	PeakUtilization  float64 `json:"peak_utilization"`
+	BottleneckEvents int64   `json:"bottleneck_events"`
+}
+
+// RuntimeStat captures the Go runtime's view of the run. It is
+// intentionally the only non-deterministic section; perfdiff ignores
+// it by default.
+type RuntimeStat struct {
+	GoVersion       string  `json:"go_version"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	WallSec         float64 `json:"wall_sec"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	NumGC           uint32  `json:"num_gc"`
+}
+
+// NewReport starts a report with the schema version and label set.
+func NewReport(label string) *Report {
+	return &Report{Schema: ReportSchema, Label: label, Config: map[string]string{}}
+}
+
+// AddBreakdown fills the phase table and counters from a trace
+// breakdown (nil-safe; a nil breakdown changes nothing).
+func (r *Report) AddBreakdown(b *trace.Breakdown) {
+	if b == nil {
+		return
+	}
+	for p := trace.Phase(0); p < trace.NumPhases; p++ {
+		s := b.PerRank[p]
+		if s.N == 0 {
+			continue
+		}
+		r.Phases = append(r.Phases, PhaseStat{
+			Name: p.String(), MeanSec: s.Mean(), MaxSec: s.MaxV, Imbalance: s.Imbalance(),
+		})
+	}
+	for c := trace.Counter(0); c < trace.NumCounters; c++ {
+		if v := b.Counters[c]; v != 0 {
+			if r.Counters == nil {
+				r.Counters = map[string]int64{}
+			}
+			r.Counters[c.String()] = v
+		}
+	}
+}
+
+// AddNetTelemetry fills the histogram and network sections (nil-safe).
+func (r *Report) AddNetTelemetry(n *NetTelemetry) {
+	if n == nil {
+		return
+	}
+	for _, h := range []struct {
+		name string
+		h    *Histogram
+	}{
+		{"send_sizes", &n.SendSizes},
+		{"collective_sizes", &n.CollectiveSizes},
+		{"access_sizes", &n.AccessSizes},
+	} {
+		if h.h.Count() == 0 {
+			continue
+		}
+		hs := HistogramStat{Name: h.name, Count: h.h.Count(), SumB: h.h.Sum()}
+		for i := 0; i < histBuckets; i++ {
+			if c := h.h.Bucket(i); c > 0 {
+				lo, hi := BucketBounds(i)
+				hs.Buckets = append(hs.Buckets, BucketStat{LoB: lo, HiB: hi, Count: c})
+			}
+		}
+		r.Histograms = append(r.Histograms, hs)
+	}
+	if n.Tree.TotalOps() > 0 {
+		if r.Counters == nil {
+			r.Counters = map[string]int64{}
+		}
+		for op := tree.Op(0); op < tree.NumOps; op++ {
+			if c := n.Tree.Ops[op]; c != 0 {
+				r.Counters["tree_"+op.String()] = c
+			}
+		}
+		if n.Tree.Bytes != 0 {
+			r.Counters["tree_bytes"] = n.Tree.Bytes
+		}
+	}
+	if u := n.Links; u.Links() > 0 {
+		mb, _ := u.MaxBytes()
+		mf, _ := u.MaxFlows()
+		r.Network = &NetworkStat{
+			Links:            u.Links(),
+			ActiveLinks:      countActive(u),
+			TotalLinkBytes:   u.TotalBytes(),
+			MaxLinkBytes:     mb,
+			MaxLinkFlows:     mf,
+			PeakUtilization:  u.PeakUtilization(),
+			BottleneckEvents: u.TotalBottlenecks(),
+		}
+	}
+}
+
+// AddRuntime fills the runtime section from the live Go runtime.
+func (r *Report) AddRuntime(wallSec float64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Runtime = &RuntimeStat{
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		WallSec:         wallSec,
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+	}
+}
+
+// WriteJSON writes the report as indented JSON with a trailing
+// newline. Struct field order and sorted map keys make the output
+// deterministic for golden tests.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteJSON(f)
+}
+
+// ReadReport loads a report from path and checks its schema version.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing report %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("telemetry: report %s has schema %d, want %d", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// Delta is one compared metric between two reports.
+type Delta struct {
+	Metric     string
+	Old, New   float64
+	Regression bool // new is slower than old beyond the threshold
+}
+
+// Change returns the relative change (new-old)/old, or 0 when old is 0.
+func (d Delta) Change() float64 {
+	if d.Old == 0 {
+		return 0
+	}
+	return (d.New - d.Old) / d.Old
+}
+
+// CompareReports compares the timing metrics of two reports: the total
+// and each phase's mean time present in both. threshold is the
+// relative slowdown (e.g. 0.10 for 10%) beyond which a metric is
+// flagged as a regression. Metrics are ordered total first, then
+// phases sorted by name.
+func CompareReports(old, new *Report, threshold float64) []Delta {
+	deltas := []Delta{flagDelta("total_sec", old.TotalSec, new.TotalSec, threshold)}
+	oldPhases := map[string]PhaseStat{}
+	for _, p := range old.Phases {
+		oldPhases[p.Name] = p
+	}
+	var names []string
+	for _, p := range new.Phases {
+		if _, ok := oldPhases[p.Name]; ok {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	newPhases := map[string]PhaseStat{}
+	for _, p := range new.Phases {
+		newPhases[p.Name] = p
+	}
+	for _, name := range names {
+		deltas = append(deltas, flagDelta("phase "+name+" mean_sec",
+			oldPhases[name].MeanSec, newPhases[name].MeanSec, threshold))
+	}
+	return deltas
+}
+
+func flagDelta(metric string, old, new, threshold float64) Delta {
+	d := Delta{Metric: metric, Old: old, New: new}
+	// Tiny absolute times are noise: only flag metrics that take at
+	// least a microsecond in the baseline.
+	if old > 1e-6 && (new-old)/old > threshold {
+		d.Regression = true
+	}
+	return d
+}

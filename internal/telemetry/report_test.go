@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bgpvr/internal/trace"
+	"bgpvr/internal/tree"
+)
+
+// goldenReport builds the deterministic report behind the golden file:
+// a two-rank virtual trace, every histogram populated, link usage and
+// tree ops. Runtime is deliberately absent (it never is deterministic).
+func goldenReport() *Report {
+	tr := trace.NewVirtual(2)
+	for r := 0; r < 2; r++ {
+		h := tr.Rank(r)
+		h.Emit(trace.PhaseIO, "io", 0, 0.5)
+		h.Emit(trace.PhaseRender, "render", 0.5, 0.25+0.05*float64(r))
+		h.Emit(trace.PhaseComposite, "composite", 0.8, 0.1)
+		h.Add(trace.CounterMessages, 4)
+		h.Add(trace.CounterBytesSent, 1<<20)
+	}
+	nt := &NetTelemetry{}
+	nt.ObserveSend(4096)
+	nt.ObserveSend(5000)
+	nt.ObserveCollective(64)
+	nt.ObserveAccess(4 << 20)
+	nt.ObserveTree(tree.OpBarrier, 0)
+	nt.ObserveTree(tree.OpBarrier, 0)
+	nt.ObserveTree(tree.OpReduce, 128)
+	_, u := goldenUsage()
+	nt.Links = u
+
+	r := NewReport("golden")
+	r.Config = map[string]string{"mode": "model", "procs": "2"}
+	r.TotalSec = 0.95
+	r.AddBreakdown(tr.Breakdown())
+	r.AddNetTelemetry(nt)
+	return r
+}
+
+func TestReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_golden.json", buf.Bytes())
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	r := goldenReport()
+	r.AddRuntime(1.5)
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema || got.Label != "golden" || got.TotalSec != r.TotalSec {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if len(got.Phases) != len(r.Phases) || len(got.Histograms) != len(r.Histograms) {
+		t.Errorf("round trip lost sections: %d phases, %d histograms", len(got.Phases), len(got.Histograms))
+	}
+	if got.Network == nil || got.Network.MaxLinkBytes != r.Network.MaxLinkBytes {
+		t.Errorf("round trip lost network section: %+v", got.Network)
+	}
+	if got.Runtime == nil || got.Runtime.WallSec != 1.5 {
+		t.Errorf("round trip lost runtime section: %+v", got.Runtime)
+	}
+}
+
+func TestReadReportSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 999, "total_sec": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file not rejected")
+	}
+}
+
+// An injected >10% slowdown must come back flagged; matching times and
+// sub-threshold drift must not.
+func TestCompareReportsRegression(t *testing.T) {
+	old := &Report{TotalSec: 1.0, Phases: []PhaseStat{
+		{Name: "io", MeanSec: 0.5},
+		{Name: "render", MeanSec: 0.3},
+	}}
+	cur := &Report{TotalSec: 1.25, Phases: []PhaseStat{
+		{Name: "io", MeanSec: 0.52}, // +4%: under threshold
+		{Name: "render", MeanSec: 0.45},
+		{Name: "new-phase", MeanSec: 9}, // only in new: not compared
+	}}
+	deltas := CompareReports(old, cur, 0.10)
+	got := map[string]bool{}
+	for _, d := range deltas {
+		got[d.Metric] = d.Regression
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("%d deltas, want 3: %+v", len(deltas), deltas)
+	}
+	if !got["total_sec"] {
+		t.Error("total_sec +25% not flagged")
+	}
+	if got["phase io mean_sec"] {
+		t.Error("io +4% flagged at 10% threshold")
+	}
+	if !got["phase render mean_sec"] {
+		t.Error("render +50% not flagged")
+	}
+}
+
+func TestCompareReportsNoiseGuard(t *testing.T) {
+	// Sub-microsecond baselines are noise, never regressions.
+	old := &Report{TotalSec: 5e-7}
+	cur := &Report{TotalSec: 5e-6}
+	if d := CompareReports(old, cur, 0.10); d[0].Regression {
+		t.Error("sub-microsecond baseline flagged")
+	}
+	// Improvement is never a regression.
+	old, cur = &Report{TotalSec: 1.0}, &Report{TotalSec: 0.5}
+	d := CompareReports(old, cur, 0.10)
+	if d[0].Regression {
+		t.Error("speedup flagged as regression")
+	}
+	if d[0].Change() != -0.5 {
+		t.Errorf("Change = %v, want -0.5", d[0].Change())
+	}
+	if (Delta{Old: 0, New: 1}).Change() != 0 {
+		t.Error("Change with zero old should be 0")
+	}
+}

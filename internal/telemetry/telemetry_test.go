@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"bgpvr/internal/torus"
+	"bgpvr/internal/tree"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, n := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, -5} {
+		h.Observe(n)
+	}
+	// Negative sizes clamp to bucket 0 (but still add to the sum).
+	wantBuckets := map[int]int64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for i := 0; i < histBuckets; i++ {
+		if got := h.Bucket(i); got != wantBuckets[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, wantBuckets[i])
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("Count = %d, want 10", h.Count())
+	}
+	if want := int64(0 + 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024 - 5); h.Sum() != want {
+		t.Errorf("Sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi int64
+	}{
+		{0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {3, 4, 7}, {11, 1024, 2047},
+	}
+	for _, c := range cases {
+		lo, hi := BucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("BucketBounds(%d) = [%d,%d], want [%d,%d]", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Bounds and bucketOf agree: every size lands in the bucket whose
+	// bounds contain it.
+	for _, n := range []int64{0, 1, 2, 3, 4, 5, 100, 4095, 4096, 1 << 40} {
+		b := bucketOf(n)
+		lo, hi := BucketBounds(b)
+		if n < lo || n > hi {
+			t.Errorf("size %d in bucket %d with bounds [%d,%d]", n, b, lo, hi)
+		}
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if h.String() != "(empty)" {
+		t.Errorf("empty String = %q", h.String())
+	}
+	h.Observe(256)
+	h.Observe(300)
+	h.Observe(512)
+	s := h.String()
+	if !strings.Contains(s, "[256,511]:2") || !strings.Contains(s, "[512,1023]:1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bucket(1) != 0 || h.Mean() != 0 {
+		t.Error("nil histogram accessors should return zero")
+	}
+	if h.String() != "(empty)" {
+		t.Errorf("nil String = %q", h.String())
+	}
+}
+
+func TestLinkUsage(t *testing.T) {
+	u := NewLinkUsage(12, 1000)
+	u.RecordLink(3, 500)
+	u.RecordLink(3, 250)
+	u.RecordLink(7, 900)
+	u.AddBottleneck(3)
+	u.AddBusy(7, 0.25)
+	u.SetDuration(2)
+	if u.Links() != 12 {
+		t.Errorf("Links = %d", u.Links())
+	}
+	if u.TotalBytes() != 1650 {
+		t.Errorf("TotalBytes = %d", u.TotalBytes())
+	}
+	if mb, l := u.MaxBytes(); mb != 900 || l != 7 {
+		t.Errorf("MaxBytes = %d@%d", mb, l)
+	}
+	if mf, l := u.MaxFlows(); mf != 2 || l != 3 {
+		t.Errorf("MaxFlows = %d@%d", mf, l)
+	}
+	// Utilization = bytes / (capacity * duration) = 900 / 2000.
+	if got := u.Utilization(7); got != 0.45 {
+		t.Errorf("Utilization(7) = %v", got)
+	}
+	if got := u.PeakUtilization(); got != 0.45 {
+		t.Errorf("PeakUtilization = %v", got)
+	}
+	if u.TotalBottlenecks() != 1 {
+		t.Errorf("TotalBottlenecks = %d", u.TotalBottlenecks())
+	}
+}
+
+func TestLinkUsageNil(t *testing.T) {
+	var u *LinkUsage
+	u.RecordLink(0, 1)
+	u.AddBottleneck(0)
+	u.AddBusy(0, 1)
+	u.SetDuration(1)
+	if u.Links() != 0 || u.TotalBytes() != 0 || u.PeakUtilization() != 0 ||
+		u.Utilization(0) != 0 || u.TotalBottlenecks() != 0 {
+		t.Error("nil LinkUsage accessors should return zero")
+	}
+	if mb, l := u.MaxBytes(); mb != 0 || l != -1 {
+		t.Errorf("nil MaxBytes = %d@%d", mb, l)
+	}
+	if mf, l := u.MaxFlows(); mf != 0 || l != -1 {
+		t.Errorf("nil MaxFlows = %d@%d", mf, l)
+	}
+}
+
+func TestNetTelemetryNil(t *testing.T) {
+	var n *NetTelemetry
+	n.ObserveSend(1)
+	n.ObserveCollective(1)
+	n.ObserveAccess(1)
+	n.ObserveTree(tree.OpBarrier, 1)
+}
+
+// Telemetry recording must be allocation-free: the comm and flowsim hot
+// paths call these per message.
+func TestRecordingAllocFree(t *testing.T) {
+	var h Histogram
+	if a := testing.AllocsPerRun(100, func() { h.Observe(4096) }); a != 0 {
+		t.Errorf("Histogram.Observe allocates %v per run", a)
+	}
+	var nilNT *NetTelemetry
+	if a := testing.AllocsPerRun(100, func() { nilNT.ObserveSend(4096) }); a != 0 {
+		t.Errorf("nil ObserveSend allocates %v per run", a)
+	}
+	nt := &NetTelemetry{}
+	if a := testing.AllocsPerRun(100, func() {
+		nt.ObserveSend(4096)
+		nt.ObserveCollective(64)
+		nt.ObserveAccess(1 << 20)
+		nt.ObserveTree(tree.OpBarrier, 0)
+	}); a != 0 {
+		t.Errorf("NetTelemetry observes allocate %v per run", a)
+	}
+	u := NewLinkUsage(6, 1e9)
+	if a := testing.AllocsPerRun(100, func() { u.RecordLink(2, 512); u.AddBusy(2, 1e-6) }); a != 0 {
+		t.Errorf("LinkUsage recording allocates %v per run", a)
+	}
+}
+
+// The analytic model's per-link accounting must conserve traffic: with
+// dimension-ordered routing, the bytes summed over all links equal the
+// sum over messages of bytes x hops.
+func TestPhaseRecordedBytesTimesHops(t *testing.T) {
+	top := torus.NewTopology(64)
+	p := torus.NewBGP()
+	var msgs []torus.Message
+	for i := 0; i < 200; i++ {
+		msgs = append(msgs, torus.Message{
+			Src:   (i * 13) % 64,
+			Dst:   (i * 29) % 64,
+			Bytes: int64(1000 + i),
+		})
+	}
+	u := NewLinkUsage(top.NumLinks(), p.LinkBandwidth)
+	rec := torus.PhaseRecorded(top, p, msgs, true, u)
+	var want int64
+	var flows int64
+	for _, m := range msgs {
+		h := int64(top.Hops(m.Src, m.Dst))
+		want += m.Bytes * h
+		flows += h
+	}
+	if got := u.TotalBytes(); got != want {
+		t.Errorf("link bytes total %d, want sum(bytes*hops) = %d", got, want)
+	}
+	var gotFlows int64
+	for _, f := range u.Flows {
+		gotFlows += int64(f)
+	}
+	if gotFlows != flows {
+		t.Errorf("link flows total %d, want sum(hops) = %d", gotFlows, flows)
+	}
+
+	// Recording must not perturb the model: Phase and PhaseRecorded
+	// return bit-identical stats.
+	plain := torus.Phase(top, p, msgs, true)
+	if plain != rec {
+		t.Errorf("PhaseRecorded stats %+v differ from Phase %+v", rec, plain)
+	}
+}

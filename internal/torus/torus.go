@@ -100,7 +100,28 @@ func (t Topology) NumLinks() int { return 6 * t.Nodes() }
 
 // linkIndex identifies the directed link leaving node id in direction
 // dir, where dir in 0..5 encodes (+X, -X, +Y, -Y, +Z, -Z).
-func (t Topology) linkIndex(id, dir int) int { return id*6 + dir }
+func (t Topology) linkIndex(id, dir int) int { return LinkIndex(id, dir) }
+
+// LinkIndex returns the directed link index of the link leaving node
+// id in direction dir (0..5 encoding +X, -X, +Y, -Y, +Z, -Z). The
+// encoding is the inverse of LinkOf and is shared with the telemetry
+// exporters.
+func LinkIndex(id, dir int) int { return id*6 + dir }
+
+// LinkOf decomposes a directed link index into its source node and
+// direction code.
+func LinkOf(link int) (node, dir int) { return link / 6, link % 6 }
+
+// dirNames are the direction codes' display names.
+var dirNames = [6]string{"+X", "-X", "+Y", "-Y", "+Z", "-Z"}
+
+// DirName returns the display name of direction code dir ("+X".."-Z").
+func DirName(dir int) string {
+	if dir < 0 || dir >= len(dirNames) {
+		return "?"
+	}
+	return dirNames[dir]
+}
 
 // ringStep returns the next coordinate and the direction code when
 // moving from a toward b along axis (0..2) by the shorter way around
@@ -181,6 +202,15 @@ func (s PhaseStats) Bandwidth() float64 {
 	return float64(s.TotalBytes) / s.Time
 }
 
+// LinkRecorder observes the per-link load a phase routes; it is the
+// narrow seam between the network models and package telemetry
+// (*telemetry.LinkUsage implements it). Implementations must accept
+// link indices in [0, Topology.NumLinks()).
+type LinkRecorder interface {
+	// RecordLink adds one flow carrying the given payload to link l.
+	RecordLink(l int, bytes int64)
+}
+
 // Phase times a set of concurrent messages on the torus. The completion
 // time is the maximum of three bottleneck terms plus the critical-path
 // latency:
@@ -194,6 +224,16 @@ func (s PhaseStats) Bandwidth() float64 {
 // Contention=false disables the shared-link term (used by the ablation
 // bench that shows Fig 4's falloff needs contention + overhead).
 func Phase(t Topology, p Params, msgs []Message, contention bool) PhaseStats {
+	return PhaseRecorded(t, p, msgs, contention, nil)
+}
+
+// PhaseRecorded is Phase with optional per-link telemetry: when rec is
+// non-nil every routed message's payload is reported link by link
+// (even with contention disabled, where the link term is still
+// excluded from the modeled time). rec == nil is exactly Phase — the
+// recording path adds no allocations and leaves the modeled time
+// bit-identical.
+func PhaseRecorded(t Topology, p Params, msgs []Message, contention bool, rec LinkRecorder) PhaseStats {
 	linkBytes := make([]int64, t.NumLinks())
 	type nodeLoad struct {
 		sendBytes, recvBytes int64
@@ -226,8 +266,15 @@ func Phase(t Topology, p Params, msgs []Message, contention bool) PhaseStats {
 		if h := t.Hops(m.Src, m.Dst); h > st.MaxHops {
 			st.MaxHops = h
 		}
-		if contention {
-			t.Route(m.Src, m.Dst, func(link int) { linkBytes[link] += m.Bytes })
+		if contention || rec != nil {
+			t.Route(m.Src, m.Dst, func(link int) {
+				if contention {
+					linkBytes[link] += m.Bytes
+				}
+				if rec != nil {
+					rec.RecordLink(link, m.Bytes)
+				}
+			})
 		}
 	}
 	for _, b := range linkBytes {

@@ -64,3 +64,63 @@ func BarrierTime(p Params, n int) float64 {
 func GatherTime(p Params, n int, b int64) float64 {
 	return float64(n)*float64(b)/p.LinkBandwidth + float64(Depth(n))*p.HopLatency
 }
+
+// Op identifies a tree-network operation for telemetry.
+type Op uint8
+
+// The tree operations.
+const (
+	OpBarrier Op = iota
+	OpBcast
+	OpReduce
+	OpAllreduce
+	OpGather
+	NumOps // count sentinel, not an op
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpBarrier:
+		return "barrier"
+	case OpBcast:
+		return "bcast"
+	case OpReduce:
+		return "reduce"
+	case OpAllreduce:
+		return "allreduce"
+	case OpGather:
+		return "gather"
+	}
+	return "unknown"
+}
+
+// Usage counts the collective operations and payload a run puts on the
+// tree network. The torus gets per-link maps (the tree is a single
+// shared medium, so op counts and bytes are the whole story). Observe
+// is a no-op on the nil receiver, so callers thread a possibly-nil
+// *Usage for free when telemetry is off.
+type Usage struct {
+	Ops   [NumOps]int64
+	Bytes int64
+}
+
+// Observe records one operation moving b payload bytes.
+func (u *Usage) Observe(op Op, b int64) {
+	if u == nil || op >= NumOps {
+		return
+	}
+	u.Ops[op]++
+	u.Bytes += b
+}
+
+// TotalOps returns the number of operations recorded.
+func (u *Usage) TotalOps() int64 {
+	if u == nil {
+		return 0
+	}
+	var t int64
+	for _, n := range u.Ops {
+		t += n
+	}
+	return t
+}

@@ -78,3 +78,33 @@ func TestBGPTreeConstants(t *testing.T) {
 		t.Errorf("tree link bandwidth = %v", p.LinkBandwidth)
 	}
 }
+
+func TestUsageObserve(t *testing.T) {
+	var u Usage
+	u.Observe(OpBarrier, 0)
+	u.Observe(OpBarrier, 0)
+	u.Observe(OpReduce, 128)
+	u.Observe(NumOps, 999) // out of range: ignored
+	if u.Ops[OpBarrier] != 2 || u.Ops[OpReduce] != 1 {
+		t.Errorf("ops = %v", u.Ops)
+	}
+	if u.Bytes != 128 {
+		t.Errorf("bytes = %d", u.Bytes)
+	}
+	if u.TotalOps() != 3 {
+		t.Errorf("TotalOps = %d", u.TotalOps())
+	}
+	var nilU *Usage
+	nilU.Observe(OpBcast, 1)
+	if nilU.TotalOps() != 0 {
+		t.Error("nil Usage should be a no-op")
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "unknown" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if NumOps.String() != "unknown" {
+		t.Errorf("sentinel String = %q", NumOps.String())
+	}
+}
