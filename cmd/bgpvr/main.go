@@ -19,9 +19,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bgpvr/internal/core"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/mpiio"
 	"bgpvr/internal/stats"
@@ -48,13 +50,14 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-phase end-to-end breakdown table")
 	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry) on this address while the run executes")
 	perfReport := flag.String("perf-report", "", "write a machine-readable perf report (breakdown + telemetry + runtime stats) to this JSON file")
+	critOut := flag.String("critpath", "", "print the critical-path & load-imbalance report and write the full analysis as JSON to this file")
 	linkmap := flag.String("linkmap", "", "write the compositing phase's per-link contention map as <prefix>.csv and <prefix>.pgm (model mode)")
 	flag.Parse()
 
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
 		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
-		traceOut: *traceOut, breakdown: *breakdown,
+		traceOut: *traceOut, breakdown: *breakdown, critpath: *critOut,
 		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
@@ -102,9 +105,26 @@ type runArgs struct {
 	out           string
 	traceOut      string
 	breakdown     bool
+	critpath      string
 	debugAddr     string
 	perfReport    string
 	linkmap       string
+}
+
+// critTopK is how many straggler ranks each phase reports.
+const critTopK = 5
+
+// analyze assembles the critical-path analysis from whichever source
+// the mode produced: the model's prebuilt graph, or the real runtime's
+// trace plus dependency recorder. Returns nil when recording was off.
+func analyze(g *critpath.Graph, tr *trace.Tracer, rec *critpath.Recorder) *critpath.Analysis {
+	if g == nil {
+		if rec == nil {
+			return nil
+		}
+		g = critpath.FromTrace(tr, rec)
+	}
+	return critpath.Analyze(g, critTopK)
 }
 
 // finishTrace exports whatever the flags asked for after a traced run.
@@ -124,12 +144,20 @@ func finishTrace(a runArgs, tr *trace.Tracer) error {
 	return nil
 }
 
-// finishRun exports the trace artifacts and, when asked, the merged
-// perf report (trace breakdown + network/I/O telemetry + runtime
-// stats + the run's configuration).
-func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, totalSec float64, wallStart time.Time) error {
+// finishRun exports the trace artifacts, the critical-path analysis,
+// and, when asked, the merged perf report (trace breakdown +
+// network/I/O telemetry + critpath/imbalance + runtime stats + the
+// run's configuration).
+func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *critpath.Analysis, totalSec float64, wallStart time.Time) error {
 	if err := finishTrace(a, tr); err != nil {
 		return err
+	}
+	if a.critpath != "" && an != nil {
+		fmt.Print(an.Text())
+		if err := an.WriteFile(a.critpath); err != nil {
+			return fmt.Errorf("writing critpath analysis: %w", err)
+		}
+		fmt.Printf("  critpath:   %s\n", a.critpath)
 	}
 	if a.perfReport == "" {
 		return nil
@@ -149,6 +177,7 @@ func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, totalSec
 		r.AddBreakdown(tr.Breakdown())
 	}
 	r.AddNetTelemetry(nt)
+	r.AddCritPath(an)
 	r.AddRuntime(time.Since(wallStart).Seconds())
 	if err := r.WriteFile(a.perfReport); err != nil {
 		return fmt.Errorf("writing perf report: %w", err)
@@ -183,7 +212,8 @@ func run(a runArgs) error {
 	scene.Shaded = a.shaded
 	hints := mpiio.Hints{CBBufferSize: window}
 
-	wantTrace := a.traceOut != "" || a.breakdown || a.perfReport != ""
+	wantCrit := a.critpath != "" || a.perfReport != "" || a.debugAddr != ""
+	wantTrace := a.traceOut != "" || a.breakdown || a.perfReport != "" || (wantCrit && mode != "model")
 	wantNet := a.perfReport != "" || a.linkmap != "" || a.debugAddr != ""
 	if a.linkmap != "" && mode != "model" {
 		return fmt.Errorf("-linkmap requires -mode model")
@@ -200,25 +230,35 @@ func run(a runArgs) error {
 			tr = trace.New(procs)
 		}
 	}
+	// critA holds the finished frame's critical-path analysis for the
+	// debug endpoint; /critpath answers 503 until the run completes.
+	var critA atomic.Pointer[critpath.Analysis]
 	if a.debugAddr != "" {
-		srv, err := telemetry.StartDebug(a.debugAddr, tr, nt)
+		srv, err := telemetry.StartDebug(a.debugAddr, tr, nt,
+			func() *critpath.Analysis { return critA.Load() })
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry)\n", srv.Addr)
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath)\n", srv.Addr)
 	}
 	wallStart := time.Now()
 
 	switch mode {
 	case "model":
 		mach := machine.NewBGP()
+		var cg *critpath.Graph
+		if wantCrit {
+			cg = critpath.NewGraph(procs)
+		}
 		res, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: procs, Compositors: m, Format: f, Hints: hints,
-			Machine: mach, Trace: tr, Net: nt})
+			Machine: mach, Trace: tr, Net: nt, CritPath: cg})
 		if err != nil {
 			return err
 		}
+		an := analyze(cg, nil, nil)
+		critA.Store(an)
 		fmt.Printf("model frame: %d^3 volume, %d^2 image, %d cores, format %v\n", n, imgSize, procs, f)
 		fmt.Printf("  I/O:        %s (%.1f%%)  read bw %s\n",
 			stats.Seconds(res.Times.IO), core.Percent(res.Times.IO, res.Times.Total), stats.Rate(res.ReadBW))
@@ -237,11 +277,15 @@ func run(a runArgs) error {
 				return err
 			}
 		}
-		return finishRun(a, tr, nt, res.Times.Total, wallStart)
+		return finishRun(a, tr, nt, an, res.Times.Total, wallStart)
 
 	case "real":
+		var rec *critpath.Recorder
+		if wantCrit {
+			rec = critpath.NewRecorder(tr, 1<<16)
+		}
 		cfg := core.RealConfig{Scene: scene, Procs: procs, Compositors: m, Format: f,
-			Hints: hints, GhostExchange: ghostExchange, Trace: tr, Net: nt}
+			Hints: hints, GhostExchange: ghostExchange, Trace: tr, Net: nt, CritPath: rec}
 		switch algo {
 		case "direct":
 			cfg.Algo = core.CompositeDirectSend
@@ -286,7 +330,9 @@ func run(a runArgs) error {
 			for _, p := range seq.Images {
 				fmt.Println("  image:", p)
 			}
-			return finishRun(a, tr, nt, tot.Total, wallStart)
+			an := analyze(nil, tr, rec)
+			critA.Store(an)
+			return finishRun(a, tr, nt, an, tot.Total, wallStart)
 		}
 		res, err := core.RunReal(cfg)
 		if err != nil {
@@ -310,7 +356,9 @@ func run(a runArgs) error {
 			}
 			fmt.Printf("  image:      %s\n", out)
 		}
-		return finishRun(a, tr, nt, res.Times.Total, wallStart)
+		an := analyze(nil, tr, rec)
+		critA.Store(an)
+		return finishRun(a, tr, nt, an, res.Times.Total, wallStart)
 	}
 	return fmt.Errorf("unknown mode %q", mode)
 }

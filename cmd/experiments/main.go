@@ -20,10 +20,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bgpvr/internal/bench"
 	"bgpvr/internal/core"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
@@ -31,23 +33,34 @@ import (
 )
 
 // tracedFrame runs one model-mode frame of the paper's base workload
-// with a virtual tracer and exports what the flags asked for.
-func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfReport string) error {
+// with a virtual tracer (and, when asked, a causal event graph) and
+// exports what the flags asked for. It returns the critical-path
+// analysis (nil when no flag wanted one) for the debug endpoint.
+func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfReport, critOut string) (*critpath.Analysis, error) {
 	wallStart := time.Now()
 	tr := trace.NewVirtual(1)
 	var nt *telemetry.NetTelemetry
 	if perfReport != "" {
 		nt = &telemetry.NetTelemetry{}
 	}
+	var cg *critpath.Graph
+	if critOut != "" || perfReport != "" {
+		cg = critpath.NewGraph(procs)
+	}
 	res, err := core.RunModel(core.ModelConfig{
-		Scene:  core.DefaultScene(n, imgSize),
-		Procs:  procs,
-		Format: core.FormatRaw,
-		Trace:  tr,
-		Net:    nt,
+		Scene:    core.DefaultScene(n, imgSize),
+		Procs:    procs,
+		Format:   core.FormatRaw,
+		Trace:    tr,
+		Net:      nt,
+		CritPath: cg,
 	})
 	if err != nil {
-		return err
+		return nil, err
+	}
+	var an *critpath.Analysis
+	if cg != nil {
+		an = critpath.Analyze(cg, 5)
 	}
 	fmt.Printf("model frame: %d^3 volume, %d^2 image, %d cores, total %s\n",
 		n, imgSize, procs, stats.Seconds(res.Times.Total))
@@ -56,9 +69,16 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfRep
 	}
 	if traceOut != "" {
 		if err := tr.WriteChromeFile(traceOut); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
+			return an, fmt.Errorf("writing trace: %w", err)
 		}
 		fmt.Printf("trace: %s (open in chrome://tracing or Perfetto)\n", traceOut)
+	}
+	if critOut != "" {
+		fmt.Print(an.Text())
+		if err := an.WriteFile(critOut); err != nil {
+			return an, fmt.Errorf("writing critpath analysis: %w", err)
+		}
+		fmt.Printf("critpath: %s\n", critOut)
 	}
 	if perfReport != "" {
 		r := telemetry.NewReport("experiments-frame")
@@ -72,24 +92,26 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfRep
 		r.TotalSec = res.Times.Total
 		r.AddBreakdown(tr.Breakdown())
 		r.AddNetTelemetry(nt)
+		r.AddCritPath(an)
 		r.AddRuntime(time.Since(wallStart).Seconds())
 		if err := r.WriteFile(perfReport); err != nil {
-			return fmt.Errorf("writing perf report: %w", err)
+			return an, fmt.Errorf("writing perf report: %w", err)
 		}
 		fmt.Printf("perf report: %s\n", perfReport)
 	}
-	return nil
+	return an, nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap, imbalance)")
 	traceOut := flag.String("trace", "", "trace one base-config model frame to this Chrome trace_event JSON instead of running experiments")
 	breakdown := flag.Bool("breakdown", false, "print the traced frame's per-phase breakdown table instead of running experiments")
 	procs := flag.Int("procs", 16384, "cores for the traced frame (-trace/-breakdown) or -exp linkmap")
 	n := flag.Int("n", 1120, "volume grid size n^3 for the traced frame")
 	imgSize := flag.Int("img", 1600, "image size for the traced frame")
 	perfReport := flag.String("perf-report", "", "write the traced frame's perf report (breakdown + telemetry + runtime) to this JSON file")
-	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry) while running")
+	critOut := flag.String("critpath", "", "print the traced frame's critical-path & load-imbalance report and write the analysis JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry, /critpath) while running")
 	flag.Parse()
 
 	mach := machine.NewBGP()
@@ -98,16 +120,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	var critA atomic.Pointer[critpath.Analysis]
 	if *debugAddr != "" {
-		srv, err := telemetry.StartDebug(*debugAddr, nil, nil)
+		srv, err := telemetry.StartDebug(*debugAddr, nil, nil,
+			func() *critpath.Analysis { return critA.Load() })
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry)\n", srv.Addr)
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath)\n", srv.Addr)
 	}
-	if *traceOut != "" || *breakdown || *perfReport != "" {
-		if err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown, *perfReport); err != nil {
+	if *traceOut != "" || *breakdown || *perfReport != "" || *critOut != "" {
+		an, err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown, *perfReport, *critOut)
+		critA.Store(an)
+		if err != nil {
 			fail(err)
 		}
 		return
@@ -213,6 +239,14 @@ func main() {
 	if want("iosig") {
 		ran = true
 		s, err := bench.IOSignature(mach)
+		if err != nil {
+			fail(err)
+		}
+		section(s)
+	}
+	if want("imbalance") {
+		ran = true
+		_, s, err := bench.Imbalance(mach)
 		if err != nil {
 			fail(err)
 		}

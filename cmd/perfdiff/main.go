@@ -1,15 +1,19 @@
 // Command perfdiff compares two perf reports written by -perf-report
-// (schema telemetry.ReportSchema) and flags regressions: timing
-// metrics present in both reports that got slower by more than the
-// threshold. CI runs it against a checked-in baseline so a PR that
-// slows a modeled frame down is visible in the job log.
+// (schema telemetry.ReportSchema) and flags regressions across three
+// metric classes: timing (total and per-phase mean seconds), counters
+// (messages, bytes, physical accesses, tree ops), and imbalance
+// (per-phase max/mean busy-time ratios plus the critical-path
+// duration). CI runs it against a checked-in baseline so a PR that
+// slows a modeled frame down — or distributes its load worse while
+// the mean stays flat — is visible in the job log.
 //
 // Usage:
 //
-//	perfdiff [-threshold 10] [-warn] old.json new.json
+//	perfdiff [-threshold 10] [-only timing|counters|imbalance|all] [-warn] old.json new.json
 //
 // Exit status: 0 when no metric regressed (or -warn is set), 2 when at
-// least one did, 1 on usage or read errors.
+// least one did, 1 on usage or read errors (including a schema
+// mismatch between the two reports).
 package main
 
 import (
@@ -21,13 +25,32 @@ import (
 	"bgpvr/internal/telemetry"
 )
 
+func value(d telemetry.Delta, v float64) string {
+	switch d.Unit {
+	case "s":
+		return stats.Seconds(v)
+	case "ratio":
+		return fmt.Sprintf("%.3f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, all")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI warn-only mode)")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-warn] old.json new.json")
+	usage := func() {
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|all] [-warn] old.json new.json")
 		os.Exit(1)
+	}
+	if flag.NArg() != 2 {
+		usage()
+	}
+	switch *only {
+	case "timing", "counters", "imbalance", "all":
+	default:
+		usage()
 	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "perfdiff:", err)
@@ -41,7 +64,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	deltas := telemetry.CompareReports(old, cur, *threshold/100)
+	th := *threshold / 100
+	var deltas []telemetry.Delta
+	if *only == "all" || *only == "timing" {
+		deltas = append(deltas, telemetry.CompareReports(old, cur, th)...)
+	}
+	if *only == "all" || *only == "counters" {
+		deltas = append(deltas, telemetry.CompareCounters(old, cur, th)...)
+	}
+	if *only == "all" || *only == "imbalance" {
+		deltas = append(deltas, telemetry.CompareImbalance(old, cur, th)...)
+	}
 	regressions := 0
 	for _, d := range deltas {
 		mark := ""
@@ -49,8 +82,8 @@ func main() {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-28s %12s -> %12s  %+6.1f%%%s\n",
-			d.Metric, stats.Seconds(d.Old), stats.Seconds(d.New), 100*d.Change(), mark)
+		fmt.Printf("%-32s %12s -> %12s  %+6.1f%%%s\n",
+			d.Metric, value(d, d.Old), value(d, d.New), 100*d.Change(), mark)
 	}
 	if regressions > 0 {
 		fmt.Printf("%d metric(s) regressed beyond %.0f%% (%s vs %s)\n",

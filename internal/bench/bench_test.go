@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -428,5 +429,61 @@ func TestPreprocessModel(t *testing.T) {
 	}
 	if !strings.Contains(s, "2240^3 -> 4480^3") {
 		t.Errorf("preprocess report incomplete:\n%s", s)
+	}
+}
+
+func TestImbalanceClaims(t *testing.T) {
+	runs, report, err := Imbalance(mach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4*len(ImbalanceSweep) {
+		t.Fatalf("runs = %d, want %d", len(runs), 4*len(ImbalanceSweep))
+	}
+	// Claim: the regular decomposition keeps render nearly balanced at
+	// every scale while the critical path still runs through it.
+	for _, r := range runs[:len(ImbalanceSweep)] {
+		ri := r.Analysis.PhaseInfo("render")
+		if ri == nil {
+			t.Fatalf("no render entry at %d cores", r.Procs)
+		}
+		if ri.Imbalance < 1 || ri.Imbalance > 1.1 {
+			t.Errorf("render imbalance at %d cores = %v, want (1, 1.1]", r.Procs, ri.Imbalance)
+		}
+		if r.Analysis.Dominant != "render" {
+			t.Errorf("dominant phase at %d cores = %q", r.Procs, r.Analysis.Dominant)
+		}
+	}
+	// Claim: at fixed core count, compositing imbalance falls
+	// monotonically as m grows (more compositors share the collection).
+	byConfig := map[[2]int]float64{}
+	for _, r := range runs[len(ImbalanceSweep):] {
+		ci := r.Analysis.PhaseInfo("composite")
+		if ci == nil {
+			t.Fatalf("no composite entry at %d cores, m=%d", r.Procs, r.Compositors)
+		}
+		byConfig[[2]int{r.Procs, r.Compositors}] = ci.Imbalance
+	}
+	for _, p := range ImbalanceSweep {
+		var prev float64
+		var ms []int
+		for cfg := range byConfig {
+			if cfg[0] == p {
+				ms = append(ms, cfg[1])
+			}
+		}
+		sort.Ints(ms)
+		for i, m := range ms {
+			imb := byConfig[[2]int{p, m}]
+			if i > 0 && imb >= prev {
+				t.Errorf("composite imbalance at %d cores not falling: m=%d gives %v after %v", p, m, imb, prev)
+			}
+			prev = imb
+		}
+	}
+	for _, want := range []string{"Render imbalance", "Compositing imbalance", "critical path at", "fragment arrival skew"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("imbalance report missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"bgpvr/internal/compose"
+	"bgpvr/internal/core"
+	"bgpvr/internal/critpath"
+	"bgpvr/internal/flowsim"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/render"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/torus"
+)
+
+// ImbalanceSweep is the modeled core-count axis of the load-imbalance
+// experiment (2K-16K cores of the paper's base workload).
+var ImbalanceSweep = []int{2048, 4096, 8192, 16384}
+
+// ImbalanceRun is one modeled configuration's critical-path analysis.
+type ImbalanceRun struct {
+	Procs       int
+	Compositors int
+	Result      *core.ModelResult
+	Analysis    *critpath.Analysis
+}
+
+// imbalanceRun models one frame of the base workload with a causal
+// event graph attached and analyzes it. m <= 0 applies the paper's
+// improved compositor rule.
+func imbalanceRun(mach machine.Machine, scene core.Scene, procs, m int) (ImbalanceRun, error) {
+	g := critpath.NewGraph(procs)
+	res, err := core.RunModel(core.ModelConfig{
+		Scene: scene, Procs: procs, Compositors: m,
+		Format: core.FormatGenerate, Machine: mach, CritPath: g,
+	})
+	if err != nil {
+		return ImbalanceRun{}, err
+	}
+	if m <= 0 {
+		m = machine.ImprovedCompositors(procs)
+	}
+	return ImbalanceRun{Procs: procs, Compositors: m, Result: res,
+		Analysis: critpath.Analyze(g, 3)}, nil
+}
+
+// Imbalance locates the modeled frame's load imbalance on the 2K-16K
+// core axis of the paper's base workload (1120^3 volume, 1600^2
+// image). The first table follows the render stage as the block count
+// grows with the core count: a regular decomposition leaves boundary
+// blocks with fewer samples, so max/mean, CoV and Gini quantify how
+// far the slowest renderer — which the critical path runs through —
+// sits from the mean, and the what-if column bounds what a perfectly
+// balanced render would save. The second table varies direct-send's
+// compositor count m around the improved rule m* and reports the
+// compositing exchange's per-rank busy-time spread.
+func Imbalance(mach machine.Machine) ([]ImbalanceRun, string, error) {
+	scene := core.DefaultScene(1120, 1600)
+	var runs []ImbalanceRun
+
+	rt := Table{
+		Title:   "Render imbalance vs block count (1120^3 volume, 1600^2 image, one block per core, improved m)",
+		Columns: []string{"cores", "mean", "max", "imbal", "cov", "gini", "slack", "balanced saves"},
+	}
+	for _, p := range ImbalanceSweep {
+		r, err := imbalanceRun(mach, scene, p, 0)
+		if err != nil {
+			return nil, "", err
+		}
+		runs = append(runs, r)
+		ri := r.Analysis.PhaseInfo("render")
+		w := r.Analysis.WhatIfFor("render")
+		if ri == nil || w == nil {
+			return nil, "", fmt.Errorf("bench: no render analysis at %d cores", p)
+		}
+		rt.AddRow(fmt.Sprint(p), secs(ri.MeanSec), secs(ri.MaxSec), f3(ri.Imbalance),
+			f3(ri.CoV), f3(ri.Gini), secs(ri.SlackSec), secs(w.SavedSec))
+	}
+
+	ct := Table{
+		Title:   "Compositing imbalance vs m (direct-send; m* is the improved rule)",
+		Columns: []string{"cores", "m", "composite", "imbal", "cov", "gini", "slack"},
+	}
+	for _, p := range ImbalanceSweep {
+		mStar := machine.ImprovedCompositors(p)
+		for _, m := range []int{mStar / 2, mStar, 2 * mStar} {
+			if m < 1 || m > p {
+				continue
+			}
+			r, err := imbalanceRun(mach, scene, p, m)
+			if err != nil {
+				return nil, "", err
+			}
+			runs = append(runs, r)
+			ci := r.Analysis.PhaseInfo("composite")
+			if ci == nil {
+				return nil, "", fmt.Errorf("bench: no composite analysis at %d cores, m=%d", p, m)
+			}
+			label := fmt.Sprint(m)
+			if m == mStar {
+				label += "*"
+			}
+			ct.AddRow(fmt.Sprint(p), label, secs(r.Result.Times.Composite),
+				f3(ci.Imbalance), f3(ci.CoV), f3(ci.Gini), secs(ci.SlackSec))
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(rt.String())
+	b.WriteString("\n")
+	b.WriteString(ct.String())
+	last := runs[len(ImbalanceSweep)-1].Analysis
+	fmt.Fprintf(&b, "\ncritical path at %d cores (improved m): dominant phase %s, %d rank hops\n",
+		ImbalanceSweep[len(ImbalanceSweep)-1], last.Dominant, last.Hops)
+	skew, err := arrivalSkew(mach, scene, 1024)
+	if err != nil {
+		return nil, "", err
+	}
+	b.WriteString(skew)
+	return runs, b.String(), nil
+}
+
+// arrivalSkew cross-checks the modeled compositing imbalance against
+// the max-min flow simulation: it streams the direct-send schedule
+// over the torus with per-message completion times (flowsim.FlowTimes)
+// and summarizes when each compositor's last fragment lands. The
+// spread of last arrivals is the wire-level view of the compositing
+// stragglers the critical-path analysis reports.
+func arrivalSkew(mach machine.Machine, scene core.Scene, procs int) (string, error) {
+	d := grid.NewDecomp(scene.Dims, procs)
+	cam := scene.Camera()
+	rects := make([]img.Rect, procs)
+	for r := range rects {
+		rects[r] = render.ProjectedRect(cam, d.BlockExtent(r))
+	}
+	m := machine.ImprovedCompositors(procs)
+	msgs := compose.DirectSendSchedule(rects, scene.ImageW, scene.ImageH, m, 16)
+	top := mach.TorusFor(procs)
+	nodeOf := mach.RankToNode(procs, machine.PlacementBlock)
+	nm := make([]torus.Message, len(msgs))
+	for i, mm := range msgs {
+		nm[i] = torus.Message{Src: nodeOf[mm.Src], Dst: nodeOf[mm.Dst], Bytes: mm.Bytes}
+	}
+	var ft flowsim.FlowTimes
+	res := flowsim.SimulateTimed(top, mach.Torus, nm, nil, &ft)
+	lastArrival := map[int]float64{}
+	for i, mm := range msgs {
+		if ft.Done[i] > lastArrival[mm.Dst] {
+			lastArrival[mm.Dst] = ft.Done[i]
+		}
+	}
+	var s stats.Summary
+	for _, v := range lastArrival {
+		s.Add(v)
+	}
+	return fmt.Sprintf("fragment arrival skew (max-min flow sim, %d cores, m=%d): compositors' last fragments land %s..%s (mean %s, imbal %.3f, phase %s)\n",
+		procs, m, secs(s.MinV), secs(s.MaxV), secs(s.Mean()), s.Imbalance(), secs(res.Time)), nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
 )
@@ -22,10 +23,13 @@ import (
 // AnySource matches messages from any rank in Recv.
 const AnySource = -1
 
-// message is one in-flight point-to-point message.
+// message is one in-flight point-to-point message. sentAt is the
+// sender's clock reading, stamped only while a critical-path recorder
+// is attached; the matching Recv turns it into a dependency edge.
 type message struct {
 	src, tag int
 	data     []byte
+	sentAt   float64
 }
 
 // mailbox holds undelivered messages for one rank.
@@ -58,6 +62,7 @@ type World struct {
 
 	tracer *trace.Tracer
 	net    *telemetry.NetTelemetry
+	cp     *critpath.Recorder
 }
 
 // NewWorld creates a communicator with p ranks. p must be >= 1.
@@ -101,6 +106,13 @@ func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
 // sizes. The default (nil) sink keeps every instrumented path a free
 // no-op. Call before Run.
 func (w *World) SetNetTelemetry(nt *telemetry.NetTelemetry) { w.net = nt }
+
+// SetCritPath attaches a critical-path recorder: every send→recv match
+// then records a dependency edge (classified by message tag, or by the
+// receiver's SetDepKind override), which the critpath analyzer turns
+// into the causal event graph. The default (nil) recorder keeps the
+// hooks free no-ops. Call before Run.
+func (w *World) SetCritPath(r *critpath.Recorder) { w.cp = r }
 
 // Run executes fn concurrently on every rank and waits for all of them.
 // The first non-nil error (or recovered panic) is returned; remaining
@@ -150,6 +162,12 @@ type Comm struct {
 	w    *World
 	rank int
 	tr   *trace.Rank
+
+	// depKind overrides the tag-based dependency classification while
+	// non-zero (set around the MPI-IO aggregator exchange and the
+	// compositing fragment exchange). Only this rank's goroutine
+	// touches it.
+	depKind critpath.DepKind
 }
 
 // Rank returns this rank's id in [0, Size()).
@@ -164,6 +182,18 @@ func (c *Comm) Trace() *trace.Rank { return c.tr }
 // sink) when none is attached — so the layers above the runtime (the
 // MPI-IO aggregators, compositors) can record their own histograms.
 func (c *Comm) Net() *telemetry.NetTelemetry { return c.w.net }
+
+// CritPath returns the world's critical-path recorder — nil (a valid
+// no-op recorder) when none is attached.
+func (c *Comm) CritPath() *critpath.Recorder { return c.w.cp }
+
+// SetDepKind sets how this rank's subsequent Recv matches classify
+// their dependency edges, overriding the tag-based default. Pass
+// critpath.DepAuto to restore the default. Callers bracket an exchange:
+//
+//	c.SetDepKind(critpath.DepFragment)
+//	defer c.SetDepKind(critpath.DepAuto)
+func (c *Comm) SetDepKind(k critpath.DepKind) { c.depKind = k }
 
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.w.size }
@@ -182,10 +212,14 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	c.tr.Add(trace.CounterMessages, 1)
 	c.tr.Add(trace.CounterBytesSent, int64(len(data)))
 	c.w.net.ObserveSend(int64(len(data)))
+	var sentAt float64
+	if c.w.cp != nil {
+		sentAt = c.w.cp.Now()
+	}
 
 	b := c.w.boxes[dst]
 	b.mu.Lock()
-	b.pending = append(b.pending, message{src: c.rank, tag: tag, data: data})
+	b.pending = append(b.pending, message{src: c.rank, tag: tag, data: data, sentAt: sentAt})
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
@@ -209,11 +243,33 @@ func (c *Comm) Recv(src, tag int) (from int, data []byte) {
 				continue
 			}
 			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			if cp := c.w.cp; cp != nil {
+				kind := c.depKind
+				if kind == critpath.DepAuto {
+					kind = classifyTag(m.tag)
+				}
+				cp.Record(kind, m.src, c.rank, m.sentAt, cp.Now(), int64(len(m.data)))
+			}
 			return m.src, m.data
 		}
 		if b.closed {
 			panic("comm: Recv on aborted world")
 		}
 		b.cond.Wait()
+	}
+}
+
+// classifyTag maps a message tag to a dependency kind by the reserved
+// collective tag ranges: barrier rounds are DepBarrier, the other
+// collectives' internal exchanges are DepCollective, everything else
+// is a plain point-to-point DepMessage.
+func classifyTag(tag int) critpath.DepKind {
+	switch {
+	case tag >= tagBcast:
+		return critpath.DepCollective
+	case tag >= tagBarrier:
+		return critpath.DepBarrier
+	default:
+		return critpath.DepMessage
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"bgpvr/internal/comm"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/img"
 	"bgpvr/internal/render"
 	"bgpvr/internal/trace"
@@ -21,6 +22,8 @@ func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img
 	tr := c.Trace()
 	sp := tr.Begin(trace.PhaseComposite, "binary-swap")
 	defer sp.End()
+	c.SetDepKind(critpath.DepFragment)
+	defer c.SetDepKind(critpath.DepAuto)
 	p := c.Size()
 	if p&(p-1) != 0 {
 		return nil, fmt.Errorf("compose: binary swap requires a power-of-two process count, got %d", p)
@@ -105,6 +108,8 @@ func BinarySwap(c *comm.Comm, sub *render.Subimage, w, h int, order []int) (*img
 func SerialGather(c *comm.Comm, sub *render.Subimage, rects []img.Rect, w, h int, order []int) (*img.Image, error) {
 	sp := c.Trace().Begin(trace.PhaseComposite, "serial-gather")
 	defer sp.End()
+	c.SetDepKind(critpath.DepFragment)
+	defer c.SetDepKind(critpath.DepAuto)
 	p := c.Size()
 	if len(rects) != p {
 		return nil, fmt.Errorf("compose: need %d rects, got %d", p, len(rects))

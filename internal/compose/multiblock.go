@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bgpvr/internal/comm"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/img"
 	"bgpvr/internal/render"
 	"bgpvr/internal/trace"
@@ -45,6 +46,8 @@ func DirectSendBlocks(c *comm.Comm, subs []*render.Subimage, blockIDs []int,
 	tr := c.Trace()
 	sp := tr.Begin(trace.PhaseComposite, "direct-send")
 	defer sp.End()
+	c.SetDepKind(critpath.DepFragment)
+	defer c.SetDepKind(critpath.DepAuto)
 	pos := make([]int64, nblocks)
 	for k, b := range order {
 		pos[b] = int64(k)

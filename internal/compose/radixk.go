@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bgpvr/internal/comm"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/img"
 	"bgpvr/internal/render"
 	"bgpvr/internal/trace"
@@ -111,6 +112,8 @@ func RadixK(c *comm.Comm, sub *render.Subimage, w, h int, ks []int, order []int)
 	tr := c.Trace()
 	sp := tr.Begin(trace.PhaseComposite, "radix-k")
 	defer sp.End()
+	c.SetDepKind(critpath.DepFragment)
+	defer c.SetDepKind(critpath.DepAuto)
 	p := c.Size()
 	if err := validateRadix(p, ks); err != nil {
 		return nil, err

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"bgpvr/internal/critpath"
+	"bgpvr/internal/trace"
+)
+
+// TestModelCritPath2K validates the modeled causal graph of a 2K-core
+// frame: attaching a graph must not perturb the modeled times at all,
+// the critical path must span the frame exactly (its duration is
+// bit-identical to the modeled end-to-end time), render must dominate
+// the path for the compute-bound generate-format scene, and the
+// what-if estimate for a balanced render must not exceed the actual
+// frame time.
+func TestModelCritPath2K(t *testing.T) {
+	const procs = 2048
+	base := ModelConfig{
+		Scene:  DefaultScene(256, 1024),
+		Procs:  procs,
+		Format: FormatGenerate, // io-free: the frame is render + composite
+	}
+	off, err := RunModel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withGraph := base
+	withGraph.CritPath = critpath.NewGraph(procs)
+	on, err := RunModel(withGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Times != on.Times {
+		t.Fatalf("recording changed modeled times:\noff %+v\non  %+v", off.Times, on.Times)
+	}
+
+	g := withGraph.CritPath
+	if g.End() != on.Times.Total {
+		t.Fatalf("graph end %v != modeled total %v (must be bit-identical)", g.End(), on.Times.Total)
+	}
+	p := g.CriticalPath()
+	if p.Total() != on.Times.Total {
+		t.Fatalf("path duration %v != modeled total %v (must be bit-identical)", p.Total(), on.Times.Total)
+	}
+	if p.Start != 0 {
+		t.Errorf("path start = %v, want 0", p.Start)
+	}
+
+	a := critpath.Analyze(g, 5)
+	if a.Dominant != "render" {
+		t.Errorf("dominant phase = %q, want render (path: %v)", a.Dominant, a.PathPhaseSec)
+	}
+	if a.PathPhaseSec["render"] != on.Times.Render {
+		t.Errorf("render on path = %v, want the full stage %v", a.PathPhaseSec["render"], on.Times.Render)
+	}
+
+	w := a.WhatIfFor("render")
+	if w == nil {
+		t.Fatal("no what-if entry for render")
+	}
+	if w.EstimatedSec > on.Times.Total {
+		t.Errorf("balanced-render estimate %v exceeds actual frame %v", w.EstimatedSec, on.Times.Total)
+	}
+	if w.SavedSec < 0 {
+		t.Errorf("negative saving %v", w.SavedSec)
+	}
+	// The render phase of a regular decomposition is imbalanced
+	// (boundary blocks sample less), so the analysis must see it.
+	r := a.PhaseInfo("render")
+	if r == nil {
+		t.Fatal("no render imbalance entry")
+	}
+	if r.Imbalance < 1 {
+		t.Errorf("render imbalance = %v < 1", r.Imbalance)
+	}
+	if len(r.Stragglers) != 5 {
+		t.Errorf("stragglers = %d, want 5", len(r.Stragglers))
+	}
+	if r.MaxSec != on.Times.Render {
+		t.Errorf("render max busy %v != stage time %v", r.MaxSec, on.Times.Render)
+	}
+}
+
+// TestModelCritPathWithIO covers the io-bearing layout: the graph end
+// must still match the modeled total bit-exactly and the path must
+// attribute all three stages.
+func TestModelCritPathWithIO(t *testing.T) {
+	g := critpath.NewGraph(1024)
+	cfg := ModelConfig{
+		Scene:    DefaultScene(256, 512),
+		Procs:    1024,
+		Format:   FormatRaw,
+		CritPath: g,
+	}
+	res, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.End() != res.Times.Total {
+		t.Fatalf("graph end %v != total %v", g.End(), res.Times.Total)
+	}
+	p := g.CriticalPath()
+	if p.Total() != res.Times.Total {
+		t.Fatalf("path %v != total %v", p.Total(), res.Times.Total)
+	}
+	if p.PhaseSec[trace.PhaseIO] != res.Times.IO {
+		t.Errorf("io on path = %v, want %v", p.PhaseSec[trace.PhaseIO], res.Times.IO)
+	}
+	if p.IdleSec > 1e-12 {
+		t.Errorf("modeled path has idle time %v", p.IdleSec)
+	}
+}
+
+// TestRealCritPathEndToEnd runs a small real frame with recording on
+// and checks the assembled graph: edges of the expected kinds exist
+// and the critical path lands on the frame's actual end.
+func TestRealCritPathEndToEnd(t *testing.T) {
+	const procs = 8
+	tr := trace.New(procs)
+	rec := critpath.NewRecorder(tr, 4096)
+	res, err := RunReal(RealConfig{
+		Scene:    DefaultScene(32, 64),
+		Procs:    procs,
+		Format:   FormatGenerate,
+		Trace:    tr,
+		CritPath: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no dependency edges recorded")
+	}
+	g := critpath.FromTrace(tr, rec)
+	a := critpath.Analyze(g, 3)
+	if a.DepsByKind["barrier"] == 0 {
+		t.Errorf("no barrier edges: %v", a.DepsByKind)
+	}
+	if a.DepsByKind["fragment"] == 0 {
+		t.Errorf("no fragment edges: %v", a.DepsByKind)
+	}
+	if a.PathSec <= 0 || a.PathSec > res.Times.Total*10 {
+		t.Errorf("path duration %v implausible for frame %v", a.PathSec, res.Times.Total)
+	}
+	if len(a.Phases) == 0 {
+		t.Error("no phase imbalance entries")
+	}
+	if txt := a.Text(); len(txt) == 0 {
+		t.Error("empty text report")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bgpvr/internal/compose"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/img"
 	"bgpvr/internal/iotrace"
@@ -49,6 +50,16 @@ type ModelConfig struct {
 	// partition's torus — the compositing phase's per-link contention
 	// map.
 	Net *telemetry.NetTelemetry
+	// CritPath, when non-nil, receives the modeled frame as a causal
+	// event graph over all Procs ranks: per-rank stage nodes (render
+	// costs from the same analytic per-block estimate, compositing
+	// busy from the message schedule scaled to the phase time) plus
+	// the barrier and fragment dependency edges between them.
+	// Population is purely observational — the modeled times are
+	// bit-identical with or without it — and the graph's end time
+	// equals Times.Total exactly. Create with
+	// critpath.NewGraph(Procs).
+	CritPath *critpath.Graph
 }
 
 // ModelResult reports the virtual timings and the quantities behind
@@ -230,6 +241,89 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 		tr.Add(trace.CounterAccesses, int64(res.IO.Accesses))
 		tr.Add(trace.CounterBytesRead, res.IO.PhysicalBytes)
 		tr.Add(trace.CounterSamples, totalSamples)
+	}
+
+	// Lay the modeled frame out as a causal event graph over all ranks.
+	// Stage boundaries repeat Times.Total's additions in the same
+	// left-to-right order, so the graph's end time is bit-identical to
+	// the modeled end-to-end time.
+	if g := cfg.CritPath; g != nil {
+		tIO := res.Times.IO
+		tRender := tIO + res.Times.Render
+		tComposite := tRender + res.Times.Composite
+		tEnd := tComposite + barriers
+
+		// I/O: the collective read is modeled as one flat stage.
+		if res.Times.IO > 0 {
+			for r := 0; r < cfg.Procs; r++ {
+				g.AddNodeEnd(r, trace.PhaseIO, "io", 0, tIO)
+			}
+		}
+		// Render: per-rank cost from the same analytic estimate the
+		// stage time takes its max over.
+		renderEnd := make([]float64, cfg.Procs)
+		slowestRender := 0
+		for r := 0; r < cfg.Procs; r++ {
+			dur := float64(analyticSamples(d.BlockExtent(r), s, rcfg.Step)) * mach.SecondsPerSample
+			renderEnd[r] = tIO + dur
+			g.AddNode(r, trace.PhaseRender, "render", tIO, dur)
+			if renderEnd[r] > renderEnd[slowestRender] {
+				slowestRender = r
+			}
+		}
+		// Compositing: per-rank busy from the schedule's injected and
+		// ejected bytes, scaled so the busiest rank fills the phase.
+		inject := make([]float64, cfg.Procs)
+		eject := make([]float64, cfg.Procs)
+		for _, mm := range msgs {
+			inject[mm.Src] += float64(mm.Bytes)
+			eject[mm.Dst] += float64(mm.Bytes)
+		}
+		busy := make([]float64, cfg.Procs)
+		var busyMax float64
+		slowestComp := 0
+		for r := 0; r < cfg.Procs; r++ {
+			busy[r] = inject[r]
+			if eject[r] > busy[r] {
+				busy[r] = eject[r]
+			}
+			if busy[r] > busyMax {
+				busyMax, slowestComp = busy[r], r
+			}
+		}
+		if res.Times.Composite > 0 {
+			for r := 0; r < cfg.Procs; r++ {
+				dur := res.Times.Composite
+				if busyMax > 0 {
+					dur = busy[r] / busyMax * res.Times.Composite
+				}
+				g.AddNode(r, trace.PhaseComposite, "composite", tRender, dur)
+			}
+		}
+		// Stage barriers close the frame on every rank.
+		if barriers > 0 {
+			for r := 0; r < cfg.Procs; r++ {
+				g.AddNodeEnd(r, trace.PhaseComm, "stage-barriers", tComposite, tEnd)
+			}
+		}
+		// Dependency edges: the slowest renderer releases the
+		// compositing stage, each schedule message carries a fragment
+		// edge stamped with its sender's render completion, and the
+		// busiest compositor releases the closing barrier.
+		for r := 0; r < cfg.Procs; r++ {
+			if r != slowestRender && res.Times.Render > 0 {
+				g.AddDep(critpath.Dep{Kind: critpath.DepBarrier, Src: slowestRender, Dst: r, SrcT: tRender, DstT: tRender})
+			}
+		}
+		for _, mm := range msgs {
+			g.AddDep(critpath.Dep{Kind: critpath.DepFragment, Src: mm.Src, Dst: mm.Dst,
+				SrcT: renderEnd[mm.Src], DstT: tRender, Bytes: mm.Bytes})
+		}
+		for r := 0; r < cfg.Procs; r++ {
+			if r != slowestComp && res.Times.Composite > 0 {
+				g.AddDep(critpath.Dep{Kind: critpath.DepBarrier, Src: slowestComp, Dst: r, SrcT: tComposite, DstT: tComposite})
+			}
+		}
 	}
 	return res, nil
 }

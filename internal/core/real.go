@@ -7,6 +7,7 @@ import (
 
 	"bgpvr/internal/comm"
 	"bgpvr/internal/compose"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/halo"
 	"bgpvr/internal/img"
@@ -75,6 +76,14 @@ type RealConfig struct {
 	// comm runtime and the MPI-IO aggregators' physical access sizes.
 	// nil costs nothing.
 	Net *telemetry.NetTelemetry
+	// CritPath, when non-nil, records a dependency edge at every
+	// synchronization point (send→recv matches, barrier rounds,
+	// collective exchanges, MPI-IO aggregator scatter, compositing
+	// fragment exchange). Combine with Trace and assemble the causal
+	// event graph afterwards via critpath.FromTrace(Trace, CritPath).
+	// Create with critpath.NewRecorder(Trace, hint); nil costs
+	// nothing.
+	CritPath *critpath.Recorder
 }
 
 // RealResult is the outcome of one real-mode frame.
@@ -159,6 +168,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 	world := comm.NewWorld(cfg.Procs)
 	world.SetTracer(cfg.Trace)
 	world.SetNetTelemetry(cfg.Net)
+	world.SetCritPath(cfg.CritPath)
 	err := world.Run(func(c *comm.Comm) error {
 		rank := c.Rank()
 		tr := c.Trace()

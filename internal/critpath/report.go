@@ -1,0 +1,145 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bgpvr/internal/stats"
+)
+
+// WriteFile writes the analysis as indented JSON to path, creating
+// missing parent directories. This is the -critpath flag's artifact
+// and the CI upload format.
+func (a *Analysis) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// maxTextSegments bounds how many path segments the text report
+// prints; the JSON export always carries the full path.
+const maxTextSegments = 12
+
+// Text renders the analysis as the plain-text report the -critpath
+// flag prints: path attribution, per-phase imbalance table, straggler
+// ranks, and the what-if estimates.
+func (a *Analysis) Text() string {
+	var b strings.Builder
+	if a == nil {
+		return ""
+	}
+	fmt.Fprintf(&b, "critical path & load imbalance (%d ranks, %d dep edges)\n", a.Ranks, a.Deps)
+	if a.Ranks == 0 || a.TotalSec == 0 {
+		b.WriteString("  (empty graph)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  frame total   %s\n", stats.Seconds(a.TotalSec))
+	fmt.Fprintf(&b, "  path          %s across %d segments, %d rank hops (idle %s)\n",
+		stats.Seconds(a.PathSec), len(a.Path), a.Hops, stats.Seconds(a.IdleSec))
+
+	// Path attribution by phase, largest share first.
+	type share struct {
+		phase string
+		sec   float64
+	}
+	var shares []share
+	for ph, sec := range a.PathPhaseSec {
+		shares = append(shares, share{ph, sec})
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].sec != shares[j].sec {
+			return shares[i].sec > shares[j].sec
+		}
+		return shares[i].phase < shares[j].phase
+	})
+	if len(shares) > 0 {
+		b.WriteString("  path by phase ")
+		for i, s := range shares {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %.1f%% (%s)", s.phase, 100*s.sec/a.PathSec, stats.Seconds(s.sec))
+		}
+		b.WriteString("\n")
+	}
+	if len(a.DepsByKind) > 0 {
+		var kinds []string
+		for k := range a.DepsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		b.WriteString("  dep edges     ")
+		for i, k := range kinds {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %d", k, a.DepsByKind[k])
+		}
+		b.WriteString("\n")
+	}
+
+	// The path itself, possibly elided in the middle.
+	if n := len(a.Path); n > 0 {
+		b.WriteString("  path segments (rank phase/name start dur):\n")
+		printSeg := func(s PathSegment) {
+			fmt.Fprintf(&b, "    r%-6d %-9s %-22s @%-11s %s\n",
+				s.Rank, s.Phase, s.Name, stats.Seconds(s.StartSec), stats.Seconds(s.DurSec))
+		}
+		if n <= maxTextSegments {
+			for _, s := range a.Path {
+				printSeg(s)
+			}
+		} else {
+			half := maxTextSegments / 2
+			for _, s := range a.Path[:half] {
+				printSeg(s)
+			}
+			fmt.Fprintf(&b, "    ... %d segments elided ...\n", n-2*half)
+			for _, s := range a.Path[n-half:] {
+				printSeg(s)
+			}
+		}
+	}
+
+	if len(a.Phases) > 0 {
+		b.WriteString("\nphase imbalance (per-rank busy time)\n")
+		fmt.Fprintf(&b, "  %-9s %11s %11s %11s %7s %7s %7s %11s\n",
+			"phase", "mean", "max", "p95", "imbal", "cov", "gini", "slack")
+		for _, p := range a.Phases {
+			fmt.Fprintf(&b, "  %-9s %11s %11s %11s %7.3f %7.3f %7.3f %11s\n",
+				p.Phase, stats.Seconds(p.MeanSec), stats.Seconds(p.MaxSec),
+				stats.Seconds(p.P95Sec), p.Imbalance, p.CoV, p.Gini,
+				stats.Seconds(p.SlackSec))
+		}
+		for _, p := range a.Phases {
+			if len(p.Stragglers) == 0 || p.Imbalance <= 1+1e-9 {
+				continue
+			}
+			fmt.Fprintf(&b, "  stragglers (%s):", p.Phase)
+			for _, st := range p.Stragglers {
+				fmt.Fprintf(&b, " r%d %s (%.2fx mean)", st.Rank, stats.Seconds(st.BusySec), st.VsMean)
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	if len(a.WhatIf) > 0 {
+		b.WriteString("\nwhat-if (one phase perfectly balanced, everything else unchanged)\n")
+		for _, w := range a.WhatIf {
+			fmt.Fprintf(&b, "  %-9s balanced: frame %s  (saves %s, %.3fx)\n",
+				w.Phase, stats.Seconds(w.EstimatedSec), stats.Seconds(w.SavedSec), w.Speedup)
+		}
+	}
+	return b.String()
+}

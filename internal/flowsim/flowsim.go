@@ -27,6 +27,17 @@ type Result struct {
 	Events int
 }
 
+// FlowTimes records per-message completion times from one simulated
+// phase: Done[i] is the seconds from phase start until msgs[i] is
+// fully received (endpoint overheads and route latency included).
+// Messages starved of bandwidth are stamped with the phase end time.
+// The recording is purely observational — attaching a FlowTimes never
+// changes the simulated Result — and feeds the critical-path graph's
+// modeled dependency edges.
+type FlowTimes struct {
+	Done []float64
+}
+
 // Simulate runs the phase: all messages start at t=0 and stream over
 // their dimension-ordered routes at max-min fair rates. Per-message
 // endpoint overheads (SendOverhead+RecvOverhead) delay each flow's
@@ -44,6 +55,14 @@ func Simulate(top torus.Topology, p torus.Params, msgs []torus.Message) Result {
 // telemetry hooks allocate nothing and leave the simulated times
 // bit-identical.
 func SimulateTelemetry(top torus.Topology, p torus.Params, msgs []torus.Message, u *telemetry.LinkUsage) Result {
+	return SimulateTimed(top, p, msgs, u, nil)
+}
+
+// SimulateTimed is SimulateTelemetry with optional per-message
+// completion times: when ft is non-nil its Done slice is resized to
+// len(msgs) and filled with each message's completion time. ft == nil
+// is exactly SimulateTelemetry.
+func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *telemetry.LinkUsage, ft *FlowTimes) Result {
 	type flow struct {
 		links     []int
 		remaining float64
@@ -56,22 +75,33 @@ func SimulateTelemetry(top torus.Topology, p torus.Params, msgs []torus.Message,
 	nlinks := top.NumLinks()
 	linkFlows := make([][]int, nlinks)
 	var activeOnLink []int32 // live unfinished-flow count per link (telemetry only)
+	var msgOf []int          // flow index -> msgs index (timing only)
 	if u != nil {
 		u.Capacity = p.LinkBandwidth
 		activeOnLink = make([]int32, nlinks)
 	}
-	for _, m := range msgs {
+	if ft != nil {
+		ft.Done = make([]float64, len(msgs))
+		msgOf = make([]int, 0, len(msgs))
+	}
+	for mi, m := range msgs {
 		oh := p.SendOverhead + p.RecvOverhead
 		if oh > overheadMax {
 			overheadMax = oh
 		}
 		if m.Src == m.Dst || m.Bytes == 0 {
+			if ft != nil {
+				ft.Done[mi] = oh + p.RouteLatency
+			}
 			continue // pure-overhead flow
 		}
 		var links []int
 		top.Route(m.Src, m.Dst, func(l int) { links = append(links, l) })
 		fi := len(flows)
 		flows = append(flows, flow{links: links, remaining: float64(m.Bytes)})
+		if ft != nil {
+			msgOf = append(msgOf, mi)
+		}
 		for _, l := range links {
 			linkFlows[l] = append(linkFlows[l], fi)
 		}
@@ -175,6 +205,9 @@ func SimulateTelemetry(top torus.Topology, p torus.Params, msgs []torus.Message,
 			if f.remaining <= 1e-9 {
 				f.done = true
 				active--
+				if ft != nil {
+					ft.Done[msgOf[fi]] = now + p.SendOverhead + p.RecvOverhead + p.RouteLatency
+				}
 				if u != nil {
 					for _, l := range f.links {
 						activeOnLink[l]--
@@ -184,6 +217,14 @@ func SimulateTelemetry(top torus.Topology, p torus.Params, msgs []torus.Message,
 		}
 	}
 	res.Time = now + overheadMax + p.RouteLatency
+	if ft != nil {
+		// Starved flows never completed: stamp them with the phase end.
+		for fi := range flows {
+			if !flows[fi].done {
+				ft.Done[msgOf[fi]] = res.Time
+			}
+		}
+	}
 	u.SetDuration(res.Time)
 	return res
 }

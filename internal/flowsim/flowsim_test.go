@@ -118,3 +118,44 @@ func TestAgreesWithBottleneckModel(t *testing.T) {
 		t.Errorf("flow sim %v vs bottleneck model %v (ratio %.2f)", sim.Time, model.Time, ratio)
 	}
 }
+
+// TestSimulateTimedBitIdentical pins the observation-only contract:
+// attaching a FlowTimes must not change the simulated result, and the
+// per-message completion times must be positive, bounded by the phase
+// time, with the last completion equal to the bandwidth-limited part.
+func TestSimulateTimedBitIdentical(t *testing.T) {
+	top := torus.NewTopology(64)
+	p := params()
+	msgs := []torus.Message{
+		{Src: 0, Dst: 5, Bytes: 4 << 20},
+		{Src: 2, Dst: 5, Bytes: 8 << 20},
+		{Src: 7, Dst: 7, Bytes: 1 << 20}, // self: overhead only
+		{Src: 9, Dst: 12, Bytes: 0},      // empty: overhead only
+		{Src: 30, Dst: 31, Bytes: 2 << 20},
+	}
+	base := Simulate(top, p, msgs)
+	var ft FlowTimes
+	timed := SimulateTimed(top, p, msgs, nil, &ft)
+	if base != timed {
+		t.Fatalf("FlowTimes changed the result: %+v vs %+v", base, timed)
+	}
+	if len(ft.Done) != len(msgs) {
+		t.Fatalf("Done has %d entries for %d messages", len(ft.Done), len(msgs))
+	}
+	var last float64
+	for i, d := range ft.Done {
+		if d <= 0 || d > base.Time+1e-12 {
+			t.Errorf("Done[%d] = %v outside (0, %v]", i, d, base.Time)
+		}
+		if d > last {
+			last = d
+		}
+	}
+	if math.Abs(last-base.Time) > 1e-9 {
+		t.Errorf("last completion %v != phase time %v", last, base.Time)
+	}
+	oh := p.SendOverhead + p.RecvOverhead + p.RouteLatency
+	if math.Abs(ft.Done[2]-oh) > 1e-12 || math.Abs(ft.Done[3]-oh) > 1e-12 {
+		t.Errorf("overhead-only messages: Done = %v/%v, want %v", ft.Done[2], ft.Done[3], oh)
+	}
+}

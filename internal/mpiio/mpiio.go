@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"bgpvr/internal/comm"
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/iotrace"
 	"bgpvr/internal/trace"
@@ -254,7 +255,9 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 		}
 		reqBufs[AggRank(d, a, p)] = comm.I64sToBytes(enc)
 	}
+	c.SetDepKind(critpath.DepAggregator)
 	reqs := c.Alltoallv(reqBufs)
+	c.SetDepKind(critpath.DepAuto)
 	reqSp.End()
 
 	// Aggregator work: decode requests, read windows, build replies.
@@ -345,7 +348,9 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 	}
 	aggSp.End()
 	scatSp := tr.Begin(trace.PhaseIO, "scatter")
+	c.SetDepKind(critpath.DepAggregator)
 	got := c.Alltoallv(replies)
+	c.SetDepKind(critpath.DepAuto)
 	scatSp.End()
 
 	// Reassemble: fragments per aggregator arrive in offset order; walk

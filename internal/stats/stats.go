@@ -1,11 +1,13 @@
 // Package stats provides the small statistical helpers used by the
-// benchmark harness: streaming summaries (Welford), load-imbalance
-// metrics, and human-friendly unit formatting.
+// benchmark harness and the critical-path analyzer: streaming
+// summaries (Welford), load-imbalance metrics (max/mean, coefficient
+// of variation, Gini), quantiles, and human-friendly unit formatting.
 package stats
 
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Summary accumulates a stream of float64 observations and reports
@@ -17,8 +19,13 @@ type Summary struct {
 	mean, m2   float64
 }
 
-// Add incorporates one observation.
+// Add incorporates one observation. NaN observations are rejected
+// (skipped): one poisoned rank timing must not erase a whole phase's
+// imbalance summary.
 func (s *Summary) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	if s.N == 0 {
 		s.MinV, s.MaxV = x, x
 	} else {
@@ -51,6 +58,113 @@ func (s *Summary) Imbalance() float64 {
 		return 1
 	}
 	return s.MaxV / s.mean
+}
+
+// CoV returns the coefficient of variation Std/Mean, the
+// scale-independent spread the paper's imbalance discussion uses
+// alongside max/mean. It returns 0 with no observations or a zero
+// mean.
+func (s *Summary) CoV() float64 {
+	if s.N == 0 || s.mean == 0 {
+		return 0
+	}
+	return s.Std() / s.mean
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs under linear
+// interpolation between order statistics. NaN values are ignored; with
+// no usable observations it returns 0. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	vals := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			vals = append(vals, x)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	pos := q * float64(len(vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[len(vals)-1]
+	}
+	return vals[lo] + frac*(vals[lo+1]-vals[lo])
+}
+
+// Gini returns the Gini coefficient of the non-negative values in xs:
+// 0 for a perfectly even load, approaching 1 when one rank carries
+// everything. It is the summary statistic of the Lorenz curve over
+// per-rank busy time. NaN values are ignored; empty or zero-sum input
+// returns 0.
+func Gini(xs []float64) float64 {
+	vals := make([]float64, 0, len(xs))
+	var sum float64
+	for _, x := range xs {
+		if math.IsNaN(x) || x < 0 {
+			continue
+		}
+		vals = append(vals, x)
+		sum += x
+	}
+	if len(vals) == 0 || sum == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	n := float64(len(vals))
+	var weighted float64
+	for i, x := range vals {
+		weighted += float64(i+1) * x
+	}
+	return 2*weighted/(n*sum) - (n+1)/n
+}
+
+// Lorenz returns the Lorenz curve of the non-negative values in xs
+// sampled at the given number of evenly spaced population fractions:
+// point i is the share of the total carried by the poorest
+// i/(points-1) of the ranks. It returns nil for empty, zero-sum, or
+// sub-2-point requests.
+func Lorenz(xs []float64, points int) []float64 {
+	if points < 2 {
+		return nil
+	}
+	vals := make([]float64, 0, len(xs))
+	var sum float64
+	for _, x := range xs {
+		if math.IsNaN(x) || x < 0 {
+			continue
+		}
+		vals = append(vals, x)
+		sum += x
+	}
+	if len(vals) == 0 || sum == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	cum := make([]float64, len(vals)+1)
+	for i, x := range vals {
+		cum[i+1] = cum[i] + x
+	}
+	out := make([]float64, points)
+	for i := range out {
+		pos := float64(i) / float64(points-1) * float64(len(vals))
+		lo := int(pos)
+		if lo >= len(vals) {
+			out[i] = 1
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = (cum[lo] + frac*vals[lo]) / sum
+	}
+	return out
 }
 
 func (s *Summary) String() string {

@@ -37,6 +37,105 @@ func TestSummaryEdgeCases(t *testing.T) {
 	}
 }
 
+// TestSummaryNaNRejection pins the edge-case contract the imbalance
+// metrics rely on: a NaN observation is skipped, not absorbed — one
+// poisoned rank timing must not wipe a phase summary.
+func TestSummaryNaNRejection(t *testing.T) {
+	var s Summary
+	s.Add(2)
+	s.Add(math.NaN())
+	s.Add(4)
+	if s.N != 2 {
+		t.Fatalf("NaN counted: N = %d, want 2", s.N)
+	}
+	if s.Mean() != 3 || s.MinV != 2 || s.MaxV != 4 {
+		t.Errorf("NaN perturbed summary: %+v", &s)
+	}
+	if math.IsNaN(s.Imbalance()) || math.IsNaN(s.CoV()) {
+		t.Error("derived metrics became NaN")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	var s Summary
+	if s.CoV() != 0 {
+		t.Error("empty CoV should be 0")
+	}
+	s.Add(5)
+	if s.CoV() != 0 {
+		t.Error("single-sample CoV should be 0")
+	}
+	s.Add(15)
+	if want := s.Std() / 10; math.Abs(s.CoV()-want) > 1e-12 {
+		t.Errorf("CoV = %v, want %v", s.CoV(), want)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := Quantile([]float64{math.NaN()}, 0.5); got != 0 {
+		t.Errorf("all-NaN Quantile = %v, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-sample Quantile = %v, want 7", got)
+	}
+	xs := []float64{4, math.NaN(), 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q=0 -> %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q=1 -> %v, want 4", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median of 1..4 = %v, want 2.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 || xs[2] != 1 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 || Gini([]float64{math.NaN()}) != 0 {
+		t.Error("degenerate Gini inputs should be 0")
+	}
+	if got := Gini([]float64{5, 5, 5, 5}); math.Abs(got) > 1e-12 {
+		t.Errorf("uniform Gini = %v, want 0", got)
+	}
+	// One rank does everything: G = (n-1)/n.
+	if got := Gini([]float64{0, 0, 0, 8}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("concentrated Gini = %v, want 0.75", got)
+	}
+	if got := Gini([]float64{1, math.NaN(), 3}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Gini with NaN = %v, want 0.25 (NaN skipped)", got)
+	}
+}
+
+func TestLorenz(t *testing.T) {
+	if Lorenz(nil, 5) != nil || Lorenz([]float64{1}, 1) != nil || Lorenz([]float64{0}, 3) != nil {
+		t.Error("degenerate Lorenz inputs should be nil")
+	}
+	got := Lorenz([]float64{1, 1, 1, 1}, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("uniform Lorenz = %v, want %v", got, want)
+		}
+	}
+	// Curve ends at 1 and is monotone for a skewed load.
+	got = Lorenz([]float64{0, 1, 9}, 4)
+	if got[len(got)-1] != 1 {
+		t.Errorf("Lorenz must end at 1: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Errorf("Lorenz not monotone: %v", got)
+		}
+	}
+}
+
 func TestSummaryMatchesDirectComputation(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	var s Summary

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/trace"
 )
 
@@ -72,8 +73,12 @@ type DebugServer struct {
 
 // StartDebug binds addr and serves the debug endpoint in the
 // background until Close. tracer and nt may be nil; whatever is
-// present appears in the snapshot.
-func StartDebug(addr string, tracer *trace.Tracer, nt *NetTelemetry) (*DebugServer, error) {
+// present appears in the snapshot. crit, when non-nil, is invoked on
+// each /critpath request to produce a live critical-path analysis
+// (assemble it from the run's tracer and recorder, or a prebuilt
+// graph); /critpath serves it as JSON, or as the text report with
+// ?text=1.
+func StartDebug(addr string, tracer *trace.Tracer, nt *NetTelemetry, crit func() *critpath.Analysis) (*DebugServer, error) {
 	src := &snapshotSource{tracer: tracer, net: nt}
 	expvarSrc.Store(src)
 	expvarOnce.Do(func() {
@@ -99,12 +104,32 @@ func StartDebug(addr string, tracer *trace.Tracer, nt *NetTelemetry) (*DebugServ
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(src.snapshot())
 	})
+	mux.HandleFunc("/critpath", func(w http.ResponseWriter, r *http.Request) {
+		if crit == nil {
+			http.Error(w, "no critical-path source attached (run with -critpath)", http.StatusNotFound)
+			return
+		}
+		a := crit()
+		if a == nil {
+			http.Error(w, "critical-path analysis not available yet", http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Query().Get("text") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, a.Text())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry\n")
+		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry  /critpath\n")
 	})
 	s := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()

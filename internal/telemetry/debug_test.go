@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/trace"
 )
 
@@ -32,7 +33,7 @@ func TestDebugServer(t *testing.T) {
 	_, u := goldenUsage()
 	nt.Links = u
 
-	srv, err := StartDebug("127.0.0.1:0", tr, nt)
+	srv, err := StartDebug("127.0.0.1:0", tr, nt, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestDebugServer(t *testing.T) {
 	// must serve the new source.
 	tr2 := trace.NewVirtual(1)
 	tr2.Rank(0).Add(trace.CounterMessages, 99)
-	srv2, err := StartDebug("127.0.0.1:0", tr2, nil)
+	srv2, err := StartDebug("127.0.0.1:0", tr2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,58 @@ func TestDebugServerNilClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Errorf("nil Close = %v", err)
 	}
-	if _, err := StartDebug("256.0.0.1:99999", nil, nil); err == nil {
+	if _, err := StartDebug("256.0.0.1:99999", nil, nil, nil); err == nil {
 		t.Error("bad address accepted")
+	}
+}
+
+// TestDebugServerCritPath covers the /critpath view: 404 with no
+// source attached, 503 while the analysis is pending, then JSON and
+// the ?text=1 plain report once it exists.
+func TestDebugServerCritPath(t *testing.T) {
+	srvNone, err := StartDebug("127.0.0.1:0", nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvNone.Close()
+	if code, _ := get(t, "http://"+srvNone.Addr+"/critpath"); code != http.StatusNotFound {
+		t.Errorf("no source: status %d, want 404", code)
+	}
+
+	var an *critpath.Analysis
+	srv, err := StartDebug("127.0.0.1:0", nil, nil, func() *critpath.Analysis { return an })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+	if code, _ := get(t, base+"/critpath"); code != http.StatusServiceUnavailable {
+		t.Errorf("pending analysis: status %d, want 503", code)
+	}
+
+	g := critpath.NewGraph(2)
+	g.AddNode(0, trace.PhaseRender, "render", 0, 2)
+	g.AddNode(1, trace.PhaseRender, "render", 0, 1)
+	g.AddNode(1, trace.PhaseComposite, "composite", 2, 1)
+	g.AddDep(critpath.Dep{Kind: critpath.DepFragment, Src: 0, Dst: 1, SrcT: 2, DstT: 2})
+	an = critpath.Analyze(g, 2)
+
+	code, body := get(t, base+"/critpath")
+	if code != http.StatusOK {
+		t.Fatalf("/critpath status %d", code)
+	}
+	var got critpath.Analysis
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/critpath not JSON: %v\n%s", err, body)
+	}
+	if got.Ranks != 2 || got.PathSec != 3 {
+		t.Errorf("analysis over the wire: ranks=%d path=%v", got.Ranks, got.PathSec)
+	}
+	code, body = get(t, base+"/critpath?text=1")
+	if code != http.StatusOK || !strings.Contains(body, "critical path") {
+		t.Errorf("text view: status %d body %q", code, body)
+	}
+	if code, body := get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/critpath") {
+		t.Errorf("index missing /critpath: status %d body %q", code, body)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/tree"
 )
@@ -15,7 +16,12 @@ import (
 // ReportSchema is the perf-report schema version. Bump it on any
 // incompatible change to Report's JSON layout; cmd/perfdiff refuses to
 // compare reports with different schemas.
-const ReportSchema = 1
+//
+// Schema history:
+//
+//	1 — phases, counters, histograms, network, runtime
+//	2 — adds the critpath and imbalance sections
+const ReportSchema = 2
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -34,6 +40,8 @@ type Report struct {
 	Counters   map[string]int64  `json:"counters,omitempty"`
 	Histograms []HistogramStat   `json:"histograms,omitempty"`
 	Network    *NetworkStat      `json:"network,omitempty"`
+	CritPath   *CritPathStat     `json:"critpath,omitempty"`
+	Imbalance  []ImbalanceStat   `json:"imbalance,omitempty"`
 	Runtime    *RuntimeStat      `json:"runtime,omitempty"`
 }
 
@@ -69,6 +77,40 @@ type NetworkStat struct {
 	MaxLinkFlows     int32   `json:"max_link_flows"`
 	PeakUtilization  float64 `json:"peak_utilization"`
 	BottleneckEvents int64   `json:"bottleneck_events"`
+}
+
+// CritPathStat summarizes the critical-path analysis of the run's
+// causal event graph (package critpath).
+type CritPathStat struct {
+	Ranks    int     `json:"ranks"`
+	Deps     int     `json:"deps"`
+	PathSec  float64 `json:"path_sec"`
+	IdleSec  float64 `json:"idle_sec,omitempty"`
+	Hops     int     `json:"hops"`
+	Dominant string  `json:"dominant_phase"`
+	// PhaseSec attributes the path's duration to phases; maps marshal
+	// with sorted keys, so the output is deterministic.
+	PhaseSec map[string]float64 `json:"phase_sec,omitempty"`
+	WhatIf   []WhatIfStat       `json:"what_if,omitempty"`
+}
+
+// WhatIfStat is one balanced-phase estimate.
+type WhatIfStat struct {
+	Phase        string  `json:"phase"`
+	EstimatedSec float64 `json:"estimated_sec"`
+	SavedSec     float64 `json:"saved_sec"`
+}
+
+// ImbalanceStat is one phase's per-rank busy-time distribution.
+type ImbalanceStat struct {
+	Phase     string  `json:"phase"`
+	MeanSec   float64 `json:"mean_sec"`
+	MaxSec    float64 `json:"max_sec"`
+	P95Sec    float64 `json:"p95_sec"`
+	Imbalance float64 `json:"imbalance"`
+	CoV       float64 `json:"cov"`
+	Gini      float64 `json:"gini"`
+	SlackSec  float64 `json:"slack_sec"`
 }
 
 // RuntimeStat captures the Go runtime's view of the run. It is
@@ -166,6 +208,40 @@ func (r *Report) AddNetTelemetry(n *NetTelemetry) {
 	}
 }
 
+// AddCritPath fills the critpath and imbalance sections from a
+// critical-path analysis (nil-safe; a nil analysis changes nothing).
+func (r *Report) AddCritPath(a *critpath.Analysis) {
+	if a == nil || a.Ranks == 0 {
+		return
+	}
+	cs := &CritPathStat{
+		Ranks:    a.Ranks,
+		Deps:     a.Deps,
+		PathSec:  a.PathSec,
+		IdleSec:  a.IdleSec,
+		Hops:     a.Hops,
+		Dominant: a.Dominant,
+	}
+	if len(a.PathPhaseSec) > 0 {
+		cs.PhaseSec = map[string]float64{}
+		for ph, sec := range a.PathPhaseSec {
+			cs.PhaseSec[ph] = sec
+		}
+	}
+	for _, w := range a.WhatIf {
+		cs.WhatIf = append(cs.WhatIf, WhatIfStat{
+			Phase: w.Phase, EstimatedSec: w.EstimatedSec, SavedSec: w.SavedSec,
+		})
+	}
+	r.CritPath = cs
+	for _, p := range a.Phases {
+		r.Imbalance = append(r.Imbalance, ImbalanceStat{
+			Phase: p.Phase, MeanSec: p.MeanSec, MaxSec: p.MaxSec, P95Sec: p.P95Sec,
+			Imbalance: p.Imbalance, CoV: p.CoV, Gini: p.Gini, SlackSec: p.SlackSec,
+		})
+	}
+}
+
 // AddRuntime fills the runtime section from the live Go runtime.
 func (r *Report) AddRuntime(wallSec float64) {
 	var ms runtime.MemStats
@@ -217,9 +293,14 @@ func ReadReport(path string) (*Report, error) {
 
 // Delta is one compared metric between two reports.
 type Delta struct {
-	Metric     string
+	Metric string
+	// Class groups deltas for filtering: "timing", "counter", or
+	// "imbalance".
+	Class string
+	// Unit labels the values: "s", "count", or "ratio".
+	Unit       string
 	Old, New   float64
-	Regression bool // new is slower than old beyond the threshold
+	Regression bool // new is worse than old beyond the threshold
 }
 
 // Change returns the relative change (new-old)/old, or 0 when old is 0.
@@ -236,7 +317,7 @@ func (d Delta) Change() float64 {
 // flagged as a regression. Metrics are ordered total first, then
 // phases sorted by name.
 func CompareReports(old, new *Report, threshold float64) []Delta {
-	deltas := []Delta{flagDelta("total_sec", old.TotalSec, new.TotalSec, threshold)}
+	deltas := []Delta{flagDelta("total_sec", "timing", "s", old.TotalSec, new.TotalSec, threshold)}
 	oldPhases := map[string]PhaseStat{}
 	for _, p := range old.Phases {
 		oldPhases[p.Name] = p
@@ -253,16 +334,68 @@ func CompareReports(old, new *Report, threshold float64) []Delta {
 		newPhases[p.Name] = p
 	}
 	for _, name := range names {
-		deltas = append(deltas, flagDelta("phase "+name+" mean_sec",
+		deltas = append(deltas, flagDelta("phase "+name+" mean_sec", "timing", "s",
 			oldPhases[name].MeanSec, newPhases[name].MeanSec, threshold))
 	}
 	return deltas
 }
 
-func flagDelta(metric string, old, new, threshold float64) Delta {
-	d := Delta{Metric: metric, Old: old, New: new}
-	// Tiny absolute times are noise: only flag metrics that take at
-	// least a microsecond in the baseline.
+// CompareCounters compares the counter aggregates present in both
+// reports (messages, bytes, accesses, tree ops), sorted by name. A
+// counter growing beyond the threshold is a regression: more traffic
+// or more physical accesses for the same configuration.
+func CompareCounters(old, new *Report, threshold float64) []Delta {
+	var names []string
+	for name := range new.Counters {
+		if _, ok := old.Counters[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var deltas []Delta
+	for _, name := range names {
+		deltas = append(deltas, flagDelta("counter "+name, "counter", "count",
+			float64(old.Counters[name]), float64(new.Counters[name]), threshold))
+	}
+	return deltas
+}
+
+// CompareImbalance compares the per-phase load-imbalance factors
+// (max/mean busy time) present in both reports, sorted by phase, plus
+// the critical-path duration when both reports carry one. Imbalance
+// growing beyond the threshold means the same configuration now
+// distributes its load worse — a regression the timing comparison can
+// miss while the mean stays flat.
+func CompareImbalance(old, new *Report, threshold float64) []Delta {
+	oldPhases := map[string]ImbalanceStat{}
+	for _, p := range old.Imbalance {
+		oldPhases[p.Phase] = p
+	}
+	var names []string
+	newPhases := map[string]ImbalanceStat{}
+	for _, p := range new.Imbalance {
+		newPhases[p.Phase] = p
+		if _, ok := oldPhases[p.Phase]; ok {
+			names = append(names, p.Phase)
+		}
+	}
+	sort.Strings(names)
+	var deltas []Delta
+	for _, name := range names {
+		deltas = append(deltas, flagDelta("imbalance "+name+" max/mean", "imbalance", "ratio",
+			oldPhases[name].Imbalance, newPhases[name].Imbalance, threshold))
+	}
+	if old.CritPath != nil && new.CritPath != nil {
+		deltas = append(deltas, flagDelta("critpath path_sec", "imbalance", "s",
+			old.CritPath.PathSec, new.CritPath.PathSec, threshold))
+	}
+	return deltas
+}
+
+func flagDelta(metric, class, unit string, old, new, threshold float64) Delta {
+	d := Delta{Metric: metric, Class: class, Unit: unit, Old: old, New: new}
+	// Tiny absolute baselines are noise: only flag metrics that
+	// register at least a microsecond (or one count) in the baseline.
 	if old > 1e-6 && (new-old)/old > threshold {
 		d.Regression = true
 	}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bgpvr/internal/critpath"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/tree"
 )
@@ -34,11 +35,21 @@ func goldenReport() *Report {
 	_, u := goldenUsage()
 	nt.Links = u
 
+	g := critpath.NewGraph(2)
+	g.AddNode(0, trace.PhaseIO, "io", 0, 0.5)
+	g.AddNode(1, trace.PhaseIO, "io", 0, 0.5)
+	g.AddNode(0, trace.PhaseRender, "render", 0.5, 0.25)
+	g.AddNode(1, trace.PhaseRender, "render", 0.5, 0.3)
+	g.AddNodeEnd(0, trace.PhaseComposite, "composite", 0.85, 0.95)
+	g.AddNodeEnd(1, trace.PhaseComposite, "composite", 0.85, 0.95)
+	g.AddDep(critpath.Dep{Kind: critpath.DepBarrier, Src: 1, Dst: 0, SrcT: 0.8, DstT: 0.85})
+
 	r := NewReport("golden")
 	r.Config = map[string]string{"mode": "model", "procs": "2"}
 	r.TotalSec = 0.95
 	r.AddBreakdown(tr.Breakdown())
 	r.AddNetTelemetry(nt)
+	r.AddCritPath(critpath.Analyze(g, 1))
 	return r
 }
 
@@ -137,5 +148,79 @@ func TestCompareReportsNoiseGuard(t *testing.T) {
 	}
 	if (Delta{Old: 0, New: 1}).Change() != 0 {
 		t.Error("Change with zero old should be 0")
+	}
+}
+
+func TestAddCritPathNil(t *testing.T) {
+	r := NewReport("x")
+	r.AddCritPath(nil)
+	r.AddCritPath(&critpath.Analysis{})
+	if r.CritPath != nil || r.Imbalance != nil {
+		t.Errorf("nil/empty analysis filled sections: %+v %+v", r.CritPath, r.Imbalance)
+	}
+}
+
+// Counters shared by both reports are compared sorted by name; growth
+// beyond the threshold is a regression, counters present on one side
+// only are skipped.
+func TestCompareCounters(t *testing.T) {
+	old := &Report{Counters: map[string]int64{"messages": 100, "bytes_sent": 1000, "gone": 5}}
+	cur := &Report{Counters: map[string]int64{"messages": 150, "bytes_sent": 1010, "fresh": 7}}
+	deltas := CompareCounters(old, cur, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("%d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Metric != "counter bytes_sent" || deltas[1].Metric != "counter messages" {
+		t.Errorf("order: %q, %q", deltas[0].Metric, deltas[1].Metric)
+	}
+	if deltas[0].Regression {
+		t.Error("bytes_sent +1% flagged at 10% threshold")
+	}
+	if !deltas[1].Regression {
+		t.Error("messages +50% not flagged")
+	}
+	for _, d := range deltas {
+		if d.Class != "counter" || d.Unit != "count" {
+			t.Errorf("delta %q class/unit = %q/%q", d.Metric, d.Class, d.Unit)
+		}
+	}
+}
+
+// Per-phase imbalance ratios shared by both reports are compared, plus
+// the critical-path duration when both sides carry one.
+func TestCompareImbalance(t *testing.T) {
+	old := &Report{
+		Imbalance: []ImbalanceStat{{Phase: "render", Imbalance: 1.1}, {Phase: "composite", Imbalance: 1.2}},
+		CritPath:  &CritPathStat{PathSec: 1.0},
+	}
+	cur := &Report{
+		Imbalance: []ImbalanceStat{{Phase: "render", Imbalance: 1.5}, {Phase: "composite", Imbalance: 1.2}},
+		CritPath:  &CritPathStat{PathSec: 1.05},
+	}
+	deltas := CompareImbalance(old, cur, 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("%d deltas, want 3: %+v", len(deltas), deltas)
+	}
+	got := map[string]bool{}
+	for _, d := range deltas {
+		got[d.Metric] = d.Regression
+	}
+	if got["imbalance composite max/mean"] {
+		t.Error("flat composite imbalance flagged")
+	}
+	if !got["imbalance render max/mean"] {
+		t.Error("render imbalance +36% not flagged")
+	}
+	if got["critpath path_sec"] {
+		t.Error("path +5% flagged at 10% threshold")
+	}
+	if deltas[0].Class != "imbalance" || deltas[0].Unit != "ratio" {
+		t.Errorf("class/unit = %q/%q", deltas[0].Class, deltas[0].Unit)
+	}
+
+	// Without a critpath section on one side, only the phases compare.
+	cur.CritPath = nil
+	if d := CompareImbalance(old, cur, 0.10); len(d) != 2 {
+		t.Errorf("%d deltas without critpath, want 2", len(d))
 	}
 }

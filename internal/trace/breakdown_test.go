@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBreakdownTableGolden pins the exact text layout of the
+// -breakdown table. Regenerate with
+// go test ./internal/trace -run Golden -update.
+func TestBreakdownTableGolden(t *testing.T) {
+	got := []byte(goldenTracer().Breakdown().Table())
+	golden := filepath.Join("testdata", "breakdown_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("breakdown table differs from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// WriteChromeFile must create missing parent directories, so -trace
+// out/run1/frame.json works without a prior mkdir.
+func TestWriteChromeFileCreatesParentDirs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out", "run1", "frame.json")
+	if err := goldenTracer().WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 || b[0] != '{' {
+		t.Errorf("trace file content starts with %q, want JSON object", b[:min(len(b), 8)])
+	}
+}

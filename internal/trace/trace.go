@@ -158,6 +158,17 @@ func (t *Tracer) now() float64 {
 	return time.Since(t.epoch).Seconds()
 }
 
+// Now returns seconds since the tracer's epoch — the clock spans are
+// stamped with — so sibling recorders (dependency edges, I/O logs) can
+// produce timestamps that line up with the trace. It returns 0 for the
+// nil and virtual tracers.
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
 // Events returns every recorded event, ordered by rank, then start
 // time, then insertion order.
 func (t *Tracer) Events() []Event {
