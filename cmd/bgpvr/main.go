@@ -26,6 +26,7 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/mpiio"
+	"bgpvr/internal/runstore"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
@@ -52,13 +53,15 @@ func main() {
 	perfReport := flag.String("perf-report", "", "write a machine-readable perf report (breakdown + telemetry + runtime stats) to this JSON file")
 	critOut := flag.String("critpath", "", "print the critical-path & load-imbalance report and write the full analysis as JSON to this file")
 	linkmap := flag.String("linkmap", "", "write the compositing phase's per-link contention map as <prefix>.csv and <prefix>.pgm (model mode)")
+	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	flag.Parse()
 
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
 		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
 		traceOut: *traceOut, breakdown: *breakdown, critpath: *critOut,
-		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap}); err != nil {
+		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap,
+		runRecord: *runRecord}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
 	}
@@ -109,6 +112,7 @@ type runArgs struct {
 	debugAddr     string
 	perfReport    string
 	linkmap       string
+	runRecord     string
 }
 
 // critTopK is how many straggler ranks each phase reports.
@@ -159,7 +163,7 @@ func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *crit
 		}
 		fmt.Printf("  critpath:   %s\n", a.critpath)
 	}
-	if a.perfReport == "" {
+	if a.perfReport == "" && a.runRecord == "" {
 		return nil
 	}
 	r := telemetry.NewReport("bgpvr-" + a.mode)
@@ -179,10 +183,19 @@ func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *crit
 	r.AddNetTelemetry(nt)
 	r.AddCritPath(an)
 	r.AddRuntime(time.Since(wallStart).Seconds())
-	if err := r.WriteFile(a.perfReport); err != nil {
-		return fmt.Errorf("writing perf report: %w", err)
+	if a.perfReport != "" {
+		if err := r.WriteFile(a.perfReport); err != nil {
+			return fmt.Errorf("writing perf report: %w", err)
+		}
+		fmt.Printf("  perf report: %s\n", a.perfReport)
 	}
-	fmt.Printf("  perf report: %s\n", a.perfReport)
+	if a.runRecord != "" {
+		rec := runstore.NewRecord(r, runstore.GitRev(), time.Now().UTC().Format(time.RFC3339))
+		if err := runstore.Append(a.runRecord, rec); err != nil {
+			return fmt.Errorf("recording run: %w", err)
+		}
+		fmt.Printf("  run record: %s (run %s)\n", a.runRecord, rec.ID)
+	}
 	return nil
 }
 
@@ -212,9 +225,10 @@ func run(a runArgs) error {
 	scene.Shaded = a.shaded
 	hints := mpiio.Hints{CBBufferSize: window}
 
-	wantCrit := a.critpath != "" || a.perfReport != "" || a.debugAddr != ""
-	wantTrace := a.traceOut != "" || a.breakdown || a.perfReport != "" || (wantCrit && mode != "model")
-	wantNet := a.perfReport != "" || a.linkmap != "" || a.debugAddr != ""
+	wantReport := a.perfReport != "" || a.runRecord != ""
+	wantCrit := a.critpath != "" || wantReport || a.debugAddr != ""
+	wantTrace := a.traceOut != "" || a.breakdown || wantReport || (wantCrit && mode != "model")
+	wantNet := wantReport || a.linkmap != "" || a.debugAddr != ""
 	if a.linkmap != "" && mode != "model" {
 		return fmt.Errorf("-linkmap requires -mode model")
 	}
@@ -234,13 +248,16 @@ func run(a runArgs) error {
 	// debug endpoint; /critpath answers 503 until the run completes.
 	var critA atomic.Pointer[critpath.Analysis]
 	if a.debugAddr != "" {
-		srv, err := telemetry.StartDebug(a.debugAddr, tr, nt,
-			func() *critpath.Analysis { return critA.Load() })
+		srv, err := telemetry.StartDebug(a.debugAddr, telemetry.DebugSource{
+			Tracer: tr, Net: nt,
+			Crit:     func() *critpath.Analysis { return critA.Load() },
+			RunsPath: a.runRecord,
+		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath)\n", srv.Addr)
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath, /runs)\n", srv.Addr)
 	}
 	wallStart := time.Now()
 

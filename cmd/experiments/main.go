@@ -4,14 +4,19 @@
 // Usage:
 //
 //	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|ablations|crossmachine]
+//	experiments -exp fidelity [-scorecard card.json] [-perf-report rep.json] [-run-record runs.jsonl]
 //	experiments -breakdown [-procs 16384] [-trace frame.json]
 //
 // The output rows mirror what the paper plots; EXPERIMENTS.md records
-// the side-by-side comparison against the published numbers. The
-// second form traces one end-to-end model frame of the paper's base
-// configuration (1120^3 volume, 1600^2 image, raw format) instead:
-// -breakdown prints the Fig 5-7 per-phase table and -trace writes the
-// virtual timeline as Chrome trace_event JSON.
+// the side-by-side comparison against the published numbers. -exp
+// fidelity scores the regenerated Fig 3-7 and Table II results against
+// the paper's published values and shape claims (internal/fidelity)
+// and prints the per-claim scorecard. The third form traces one
+// end-to-end model frame of the paper's base configuration (1120^3
+// volume, 1600^2 image, raw format) instead: -breakdown prints the
+// Fig 5-7 per-phase table and -trace writes the virtual timeline as
+// Chrome trace_event JSON. -run-record appends the run's perf report
+// to the append-only JSONL run registry that cmd/perfhistory trends.
 package main
 
 import (
@@ -26,25 +31,76 @@ import (
 	"bgpvr/internal/bench"
 	"bgpvr/internal/core"
 	"bgpvr/internal/critpath"
+	"bgpvr/internal/fidelity"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/runstore"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
 )
 
+// record appends the report to the JSONL run registry at path.
+func record(path string, r *telemetry.Report) error {
+	rec := runstore.NewRecord(r, runstore.GitRev(), time.Now().UTC().Format(time.RFC3339))
+	if err := runstore.Append(path, rec); err != nil {
+		return fmt.Errorf("recording run: %w", err)
+	}
+	fmt.Printf("run record: %s (run %s)\n", path, rec.ID)
+	return nil
+}
+
+// fidelityRun regenerates the paper's exhibits, scores them against
+// the published claims, and exports whatever the flags asked for. It
+// returns the scorecard's report section for the debug endpoint.
+func fidelityRun(mach machine.Machine, scorecardOut, perfReport, runRecord string) (*telemetry.FidelityStat, error) {
+	wallStart := time.Now()
+	sc, err := fidelity.Evaluate(mach)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Print(sc.Text())
+	stat := sc.Stat()
+	if scorecardOut != "" {
+		if err := sc.WriteFile(scorecardOut); err != nil {
+			return stat, fmt.Errorf("writing scorecard: %w", err)
+		}
+		fmt.Printf("scorecard: %s\n", scorecardOut)
+	}
+	if perfReport == "" && runRecord == "" {
+		return stat, nil
+	}
+	r := telemetry.NewReport("experiments-fidelity")
+	r.Config = map[string]string{"exp": "fidelity", "machine": "bgp"}
+	r.Fidelity = stat
+	r.AddRuntime(time.Since(wallStart).Seconds())
+	if perfReport != "" {
+		if err := r.WriteFile(perfReport); err != nil {
+			return stat, fmt.Errorf("writing perf report: %w", err)
+		}
+		fmt.Printf("perf report: %s\n", perfReport)
+	}
+	if runRecord != "" {
+		if err := record(runRecord, r); err != nil {
+			return stat, err
+		}
+	}
+	return stat, nil
+}
+
 // tracedFrame runs one model-mode frame of the paper's base workload
 // with a virtual tracer (and, when asked, a causal event graph) and
 // exports what the flags asked for. It returns the critical-path
 // analysis (nil when no flag wanted one) for the debug endpoint.
-func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfReport, critOut string) (*critpath.Analysis, error) {
+func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfReport, critOut, runRecord string) (*critpath.Analysis, error) {
 	wallStart := time.Now()
 	tr := trace.NewVirtual(1)
+	wantReport := perfReport != "" || runRecord != ""
 	var nt *telemetry.NetTelemetry
-	if perfReport != "" {
+	if wantReport {
 		nt = &telemetry.NetTelemetry{}
 	}
 	var cg *critpath.Graph
-	if critOut != "" || perfReport != "" {
+	if critOut != "" || wantReport {
 		cg = critpath.NewGraph(procs)
 	}
 	res, err := core.RunModel(core.ModelConfig{
@@ -80,7 +136,7 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfRep
 		}
 		fmt.Printf("critpath: %s\n", critOut)
 	}
-	if perfReport != "" {
+	if wantReport {
 		r := telemetry.NewReport("experiments-frame")
 		r.Config = map[string]string{
 			"mode":   "model",
@@ -94,24 +150,33 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfRep
 		r.AddNetTelemetry(nt)
 		r.AddCritPath(an)
 		r.AddRuntime(time.Since(wallStart).Seconds())
-		if err := r.WriteFile(perfReport); err != nil {
-			return an, fmt.Errorf("writing perf report: %w", err)
+		if perfReport != "" {
+			if err := r.WriteFile(perfReport); err != nil {
+				return an, fmt.Errorf("writing perf report: %w", err)
+			}
+			fmt.Printf("perf report: %s\n", perfReport)
 		}
-		fmt.Printf("perf report: %s\n", perfReport)
+		if runRecord != "" {
+			if err := record(runRecord, r); err != nil {
+				return an, err
+			}
+		}
 	}
 	return an, nil
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap, imbalance)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap, imbalance, fidelity)")
 	traceOut := flag.String("trace", "", "trace one base-config model frame to this Chrome trace_event JSON instead of running experiments")
 	breakdown := flag.Bool("breakdown", false, "print the traced frame's per-phase breakdown table instead of running experiments")
 	procs := flag.Int("procs", 16384, "cores for the traced frame (-trace/-breakdown) or -exp linkmap")
 	n := flag.Int("n", 1120, "volume grid size n^3 for the traced frame")
 	imgSize := flag.Int("img", 1600, "image size for the traced frame")
-	perfReport := flag.String("perf-report", "", "write the traced frame's perf report (breakdown + telemetry + runtime) to this JSON file")
+	perfReport := flag.String("perf-report", "", "write the run's perf report (breakdown + telemetry + runtime; -exp fidelity: the scorecard) to this JSON file")
 	critOut := flag.String("critpath", "", "print the traced frame's critical-path & load-imbalance report and write the analysis JSON to this file")
-	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry, /critpath) while running")
+	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry, /critpath, /fidelity, /runs) while running")
+	scorecardOut := flag.String("scorecard", "", "write the fidelity scorecard JSON to this file (-exp fidelity)")
+	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	flag.Parse()
 
 	mach := machine.NewBGP()
@@ -121,17 +186,29 @@ func main() {
 		os.Exit(1)
 	}
 	var critA atomic.Pointer[critpath.Analysis]
+	var fidA atomic.Pointer[telemetry.FidelityStat]
 	if *debugAddr != "" {
-		srv, err := telemetry.StartDebug(*debugAddr, nil, nil,
-			func() *critpath.Analysis { return critA.Load() })
+		srv, err := telemetry.StartDebug(*debugAddr, telemetry.DebugSource{
+			Crit:     func() *critpath.Analysis { return critA.Load() },
+			Fidelity: func() *telemetry.FidelityStat { return fidA.Load() },
+			RunsPath: *runRecord,
+		})
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath)\n", srv.Addr)
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath, /fidelity, /runs)\n", srv.Addr)
 	}
-	if *traceOut != "" || *breakdown || *perfReport != "" || *critOut != "" {
-		an, err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown, *perfReport, *critOut)
+	if *exp == "fidelity" {
+		stat, err := fidelityRun(mach, *scorecardOut, *perfReport, *runRecord)
+		fidA.Store(stat)
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *traceOut != "" || *breakdown || *perfReport != "" || *critOut != "" || *runRecord != "" {
+		an, err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown, *perfReport, *critOut, *runRecord)
 		critA.Store(an)
 		if err != nil {
 			fail(err)

@@ -1,15 +1,23 @@
 // Command perfdiff compares two perf reports written by -perf-report
-// (schema telemetry.ReportSchema) and flags regressions across three
+// (schema telemetry.ReportSchema) and flags regressions across four
 // metric classes: timing (total and per-phase mean seconds), counters
-// (messages, bytes, physical accesses, tree ops), and imbalance
-// (per-phase max/mean busy-time ratios plus the critical-path
-// duration). CI runs it against a checked-in baseline so a PR that
-// slows a modeled frame down — or distributes its load worse while
-// the mean stays flat — is visible in the job log.
+// (messages, bytes, physical accesses, tree ops), imbalance (per-phase
+// max/mean busy-time ratios plus the critical-path duration), and
+// fidelity (the paper-fidelity aggregate score dropping or any
+// individual claim's pass/warn/fail status getting worse). CI runs it
+// against checked-in baselines so a PR that slows a modeled frame
+// down, distributes its load worse, or drifts away from the paper's
+// published curves is visible in the job log.
 //
 // Usage:
 //
-//	perfdiff [-threshold 10] [-only timing|counters|imbalance|all] [-warn] old.json new.json
+//	perfdiff [-threshold 10] [-only timing|counters|imbalance|fidelity|all] [-warn] old.json new.json
+//	perfdiff [flags] reports-dir
+//
+// The one-argument form takes a directory of perf reports and diffs
+// the newest against the previous one (by modification time, names
+// breaking ties) — the hands-off mode for a directory that a CI job or
+// a run registry keeps appending reports to.
 //
 // Exit status: 0 when no metric regressed (or -warn is set), 2 when at
 // least one did, 1 on usage or read errors (including a schema
@@ -20,6 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
@@ -31,24 +42,61 @@ func value(d telemetry.Delta, v float64) string {
 		return stats.Seconds(v)
 	case "ratio":
 		return fmt.Sprintf("%.3f", v)
+	case "score":
+		return fmt.Sprintf("%.3f", v)
+	case "status":
+		return [...]string{"pass", "warn", "fail"}[int(v)]
 	}
 	return fmt.Sprintf("%.0f", v)
 }
 
+// newestPair returns the two most recent perf reports in dir, old
+// first: ordered by modification time with the file name breaking
+// ties.
+func newestPair(dir string) (old, new string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type candidate struct {
+		path string
+		mod  int64
+	}
+	var cands []candidate
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return "", "", err
+		}
+		cands = append(cands, candidate{filepath.Join(dir, e.Name()), info.ModTime().UnixNano()})
+	}
+	if len(cands) < 2 {
+		return "", "", fmt.Errorf("%s holds %d perf report(s), need at least 2", dir, len(cands))
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mod != cands[j].mod {
+			return cands[i].mod < cands[j].mod
+		}
+		return cands[i].path < cands[j].path
+	})
+	return cands[len(cands)-2].path, cands[len(cands)-1].path, nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
-	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, all")
+	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, fidelity, all")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI warn-only mode)")
 	flag.Parse()
 	usage := func() {
-		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|all] [-warn] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|fidelity|all] [-warn] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       perfdiff [flags] reports-dir   (diffs the two newest reports)")
 		os.Exit(1)
 	}
-	if flag.NArg() != 2 {
-		usage()
-	}
 	switch *only {
-	case "timing", "counters", "imbalance", "all":
+	case "timing", "counters", "imbalance", "fidelity", "all":
 	default:
 		usage()
 	}
@@ -56,11 +104,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "perfdiff:", err)
 		os.Exit(1)
 	}
-	old, err := telemetry.ReadReport(flag.Arg(0))
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	case 1:
+		info, err := os.Stat(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		if !info.IsDir() {
+			usage()
+		}
+		if oldPath, newPath, err = newestPair(flag.Arg(0)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("diffing newest vs previous in %s:\n  old: %s\n  new: %s\n", flag.Arg(0), oldPath, newPath)
+	default:
+		usage()
+	}
+	old, err := telemetry.ReadReport(oldPath)
 	if err != nil {
 		fail(err)
 	}
-	cur, err := telemetry.ReadReport(flag.Arg(1))
+	cur, err := telemetry.ReadReport(newPath)
 	if err != nil {
 		fail(err)
 	}
@@ -75,6 +142,9 @@ func main() {
 	if *only == "all" || *only == "imbalance" {
 		deltas = append(deltas, telemetry.CompareImbalance(old, cur, th)...)
 	}
+	if *only == "all" || *only == "fidelity" {
+		deltas = append(deltas, telemetry.CompareFidelity(old, cur, th)...)
+	}
 	regressions := 0
 	for _, d := range deltas {
 		mark := ""
@@ -82,12 +152,16 @@ func main() {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-32s %12s -> %12s  %+6.1f%%%s\n",
-			d.Metric, value(d, d.Old), value(d, d.New), 100*d.Change(), mark)
+		change := fmt.Sprintf("%+6.1f%%", 100*d.Change())
+		if d.Unit == "status" { // a rank flip, not a percentage
+			change = "      -"
+		}
+		fmt.Printf("%-32s %12s -> %12s  %s%s\n",
+			d.Metric, value(d, d.Old), value(d, d.New), change, mark)
 	}
 	if regressions > 0 {
 		fmt.Printf("%d metric(s) regressed beyond %.0f%% (%s vs %s)\n",
-			regressions, *threshold, flag.Arg(0), flag.Arg(1))
+			regressions, *threshold, oldPath, newPath)
 		if !*warn {
 			os.Exit(2)
 		}

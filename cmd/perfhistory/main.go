@@ -1,0 +1,105 @@
+// Command perfhistory renders the run registry (internal/runstore,
+// appended by -run-record) as per-metric trend tables: one line per
+// tracked metric with a sparkline over the last N stored runs, the
+// newest value, and a drift flag from a rolling changepoint test.
+// Where cmd/perfdiff compares exactly two reports, perfhistory watches
+// the whole trajectory, so a regression that creeps in over several
+// PRs — each step below the pairwise threshold — still surfaces.
+//
+// Usage:
+//
+//	perfhistory [-last 20] [-minseg 2] [-threshold 10] [-fail] runs.jsonl
+//
+// Exit status: 0 normally, 2 with -fail when any metric drifted in the
+// degrading direction, 1 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"bgpvr/internal/runstore"
+	"bgpvr/internal/stats"
+)
+
+func fmtVal(unit string, v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch unit {
+	case "s":
+		return stats.Seconds(v)
+	case "score":
+		return fmt.Sprintf("%.3f", v)
+	case "ratio":
+		return fmt.Sprintf("%.3f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func main() {
+	last := flag.Int("last", 20, "number of most recent runs to analyze")
+	minSeg := flag.Int("minseg", 2, "minimum runs on each side of a changepoint split")
+	threshold := flag.Float64("threshold", 10, "drift threshold in percent")
+	failOnDrift := flag.Bool("fail", false, "exit 2 when any metric drifts in the degrading direction")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: perfhistory [-last n] [-minseg n] [-threshold pct] [-fail] runs.jsonl")
+		os.Exit(1)
+	}
+	recs, err := runstore.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfhistory:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Println("run store is empty")
+		return
+	}
+	if *last > 0 && len(recs) > *last {
+		recs = recs[len(recs)-*last:]
+	}
+	first, latest := recs[0], recs[len(recs)-1]
+	fmt.Printf("run history: %d runs, %s (%s) .. %s (%s)\n",
+		len(recs), first.Time, first.GitRev, latest.Time, latest.GitRev)
+
+	series := runstore.Metrics(recs)
+	nameW := 0
+	for _, s := range series {
+		if s.Valid() >= 1 && len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	degraded := 0
+	for _, s := range series {
+		if s.Valid() < 1 {
+			continue
+		}
+		flagTxt := ""
+		cp := runstore.DetectChange(s.Values, *minSeg, *threshold/100)
+		if cp != nil {
+			dir := "improved"
+			if runstore.Worse(s.Unit, cp.Shift) {
+				dir = "DRIFT"
+				degraded++
+			}
+			rev := "?"
+			if cp.Index < len(recs) {
+				rev = recs[cp.Index].GitRev
+			}
+			flagTxt = fmt.Sprintf("  %s %+.1f%% at run %d (%s): %s -> %s",
+				dir, 100*cp.Shift, cp.Index+1, rev,
+				fmtVal(s.Unit, cp.Before), fmtVal(s.Unit, cp.After))
+		}
+		fmt.Printf("%-*s  %-*s  latest %10s%s\n",
+			nameW, s.Name, len(recs), stats.Sparkline(s.Values), fmtVal(s.Unit, s.Last()), flagTxt)
+	}
+	if degraded > 0 {
+		fmt.Printf("%d metric(s) drifted beyond %.0f%% in the degrading direction\n", degraded, *threshold)
+		if *failOnDrift {
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bgpvr/internal/machine"
+)
+
+// readFig3Golden parses the "Full measured sweep (seconds)" fenced
+// block of EXPERIMENTS.md: one row per core count with total, raw I/O,
+// render, and both compositing times as printed there.
+func readFig3Golden(t *testing.T) map[int][]string {
+	t.Helper()
+	f, err := os.Open("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows := map[int][]string{}
+	sc := bufio.NewScanner(f)
+	inBlock := false
+	seen := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case !seen && strings.HasPrefix(line, "Full measured sweep (seconds):"):
+			seen = true
+		case seen && !inBlock && strings.HasPrefix(line, "```"):
+			inBlock = true
+		case inBlock && strings.HasPrefix(line, "```"):
+			return rows
+		case inBlock:
+			fields := strings.Fields(line)
+			if len(fields) != 6 {
+				continue // the header row
+			}
+			procs, err := strconv.Atoi(fields[0])
+			if err != nil {
+				continue
+			}
+			rows[procs] = fields[1:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	t.Fatal("EXPERIMENTS.md has no fenced block after \"Full measured sweep (seconds):\"")
+	return nil
+}
+
+// TestExperimentsFig3TableIsCurrent pins the measured-sweep table in
+// EXPERIMENTS.md to what bench.Fig3 produces today, so the document
+// cannot silently go stale when the model is recalibrated. On a
+// mismatch, regenerate the table with
+//
+//	go run ./cmd/experiments -exp fig3
+//
+// and paste the changed rows (the full fidelity check is
+// go run ./cmd/experiments -exp fidelity).
+func TestExperimentsFig3TableIsCurrent(t *testing.T) {
+	golden := readFig3Golden(t)
+	if len(golden) == 0 {
+		t.Fatal("no data rows parsed from EXPERIMENTS.md")
+	}
+	pts, _, err := Fig3(machine.NewBGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProcs := map[int]Fig3Point{}
+	for _, pt := range pts {
+		byProcs[pt.Procs] = pt
+	}
+	cols := []string{"total", "raw I/O", "render", "orig comp", "impr comp"}
+	for procs, want := range golden {
+		pt, ok := byProcs[procs]
+		if !ok {
+			t.Errorf("EXPERIMENTS.md row for %d cores has no Fig3 sweep point", procs)
+			continue
+		}
+		got := []string{f2(pt.Total), f2(pt.IO), f2(pt.Render),
+			f3(pt.CompositeOriginal), f3(pt.CompositeImproved)}
+		for i, w := range want {
+			if got[i] != w {
+				t.Errorf("EXPERIMENTS.md stale at %d cores, %s: documented %s, model produces %s (regenerate with go run ./cmd/experiments -exp fig3)",
+					procs, cols[i], w, got[i])
+			}
+		}
+	}
+}

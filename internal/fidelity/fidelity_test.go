@@ -1,0 +1,221 @@
+package fidelity
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpvr/internal/machine"
+	"bgpvr/internal/telemetry"
+)
+
+func TestRelErrEdgeCases(t *testing.T) {
+	cases := []struct {
+		name            string
+		paper, measured float64
+		want            float64 // NaN means "expect NaN"
+	}{
+		{"exact", 10, 10, 0},
+		{"fifty-percent", 10, 15, 0.5},
+		{"symmetric-under", 10, 5, 0.5},
+		{"negative-paper", -10, -12, 0.2},
+		{"both-zero", 0, 0, 0},
+		{"zero-paper", 0, 3, math.Inf(1)},
+		{"nan-paper", math.NaN(), 3, math.NaN()},
+		{"nan-measured", 3, math.NaN(), math.NaN()},
+	}
+	for _, c := range cases {
+		got := RelErr(c.paper, c.measured)
+		if math.IsNaN(c.want) {
+			if !math.IsNaN(got) {
+				t.Errorf("%s: RelErr(%v, %v) = %v, want NaN", c.name, c.paper, c.measured, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: RelErr(%v, %v) = %v, want %v", c.name, c.paper, c.measured, got, c.want)
+		}
+	}
+}
+
+func TestScoreToleranceBands(t *testing.T) {
+	claim := Claim{ID: "t/p", Figure: "fig3", Kind: KindPoint, Tol: Tol{Warn: 0.10, Fail: 0.30}}
+	cases := []struct {
+		name   string
+		relerr float64
+		want   Status
+	}{
+		{"inside-warn", 0.05, Pass},
+		{"at-warn", 0.10, Pass},
+		{"between", 0.20, Warn},
+		{"at-fail", 0.30, Warn},
+		{"beyond-fail", 0.31, Fail},
+		{"infinite", math.Inf(1), Fail},
+		{"nan-guard", math.NaN(), Fail},
+	}
+	for _, c := range cases {
+		r := score(claim, Outcome{RelErr: c.relerr})
+		if r.Status != c.want {
+			t.Errorf("%s: relerr %v scored %s, want %s", c.name, c.relerr, r.Status, c.want)
+		}
+	}
+}
+
+func TestScoreMissingPoint(t *testing.T) {
+	claim := Claim{ID: "t/m", Figure: "fig3", Kind: KindPoint, Tol: Tol{Warn: 0.1, Fail: 0.3}}
+	r := score(claim, missing("5.9 s", "fig3 at 999 cores"))
+	if r.Status != Fail {
+		t.Fatalf("missing point scored %s, want fail", r.Status)
+	}
+	if !strings.Contains(r.Detail, "missing measured point") {
+		t.Errorf("detail %q does not name the missing point", r.Detail)
+	}
+	if r.Measured != "(missing)" {
+		t.Errorf("measured rendered as %q, want (missing)", r.Measured)
+	}
+	if !math.IsNaN(r.RelErr) {
+		t.Errorf("missing point RelErr = %v, want NaN", r.RelErr)
+	}
+}
+
+func TestScorePredicates(t *testing.T) {
+	claim := Claim{ID: "t/s", Figure: "fig4", Kind: KindShape}
+	if got := score(claim, Outcome{Holds: true}).Status; got != Pass {
+		t.Errorf("holding predicate scored %s, want pass", got)
+	}
+	if got := score(claim, Outcome{Holds: true, Marginal: true}).Status; got != Warn {
+		t.Errorf("marginal predicate scored %s, want warn", got)
+	}
+	if got := score(claim, Outcome{Holds: false}).Status; got != Fail {
+		t.Errorf("broken predicate scored %s, want fail", got)
+	}
+}
+
+func TestStatusScore(t *testing.T) {
+	if Pass.Score() != 1 || Warn.Score() != 0.5 || Fail.Score() != 0 {
+		t.Errorf("status scores = %v/%v/%v, want 1/0.5/0", Pass.Score(), Warn.Score(), Fail.Score())
+	}
+}
+
+func TestEvaluateMissingDataFailsEveryClaim(t *testing.T) {
+	sc := EvaluateData(&Data{})
+	if len(sc.Results) != len(Claims()) {
+		t.Fatalf("scored %d claims, want %d", len(sc.Results), len(Claims()))
+	}
+	for _, r := range sc.Results {
+		if r.Status != Fail {
+			t.Errorf("claim %s on empty data scored %s, want fail", r.ID, r.Status)
+		}
+	}
+	if sc.Score != 0 {
+		t.Errorf("empty-data aggregate score = %v, want 0", sc.Score)
+	}
+}
+
+// TestEvaluateAgainstModel pins the scorecard the calibrated machine
+// model currently earns: the paper's qualitative claims all hold and
+// no claim fails outright. The exact aggregate score may move as the
+// model is tuned; zero fails is the contract.
+func TestEvaluateAgainstModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation sweeps all figures")
+	}
+	sc, err := Evaluate(machine.NewBGP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, warn, fail := sc.Counts()
+	if fail != 0 {
+		t.Errorf("model evaluation has %d failing claims:\n%s", fail, sc.Text())
+	}
+	if pass+warn+fail != len(Claims()) {
+		t.Errorf("counts %d+%d+%d do not cover the %d claims", pass, warn, fail, len(Claims()))
+	}
+	if sc.Score < 0.9 {
+		t.Errorf("aggregate score %.3f below 0.9; the model drifted from the paper:\n%s", sc.Score, sc.Text())
+	}
+	covered := map[string]bool{}
+	for _, r := range sc.Results {
+		covered[r.Figure] = true
+	}
+	for _, fig := range []string{"fig3", "fig4", "fig5", "table2", "fig6", "fig7"} {
+		if !covered[fig] {
+			t.Errorf("no claims cover %s", fig)
+		}
+	}
+	text := sc.Text()
+	if !strings.Contains(text, "paper-fidelity scorecard") {
+		t.Errorf("text report missing header:\n%s", text)
+	}
+	for _, fig := range figureTitles {
+		if !strings.Contains(text, fig.title) {
+			t.Errorf("text report missing section %q", fig.title)
+		}
+	}
+}
+
+func TestStatRoundTrip(t *testing.T) {
+	sc := &Scorecard{
+		Score: 0.75,
+		Results: []Result{
+			{ID: "a", Figure: "fig3", Kind: KindPoint, Status: Pass, RelErr: 0.05},
+			{ID: "b", Figure: "fig4", Kind: KindShape, Status: Warn, RelErr: math.NaN()},
+			{ID: "c", Figure: "fig7", Kind: KindPoint, Status: Fail, RelErr: math.Inf(1)},
+		},
+	}
+	fs := sc.Stat()
+	if fs.Score != 0.75 || fs.Pass != 1 || fs.Warn != 1 || fs.Fail != 1 {
+		t.Fatalf("stat counts = %+v", fs)
+	}
+	if fs.Claims[0].RelErr == nil || *fs.Claims[0].RelErr != 0.05 {
+		t.Errorf("finite RelErr not carried over: %+v", fs.Claims[0])
+	}
+	if fs.Claims[1].RelErr != nil {
+		t.Errorf("NaN RelErr should be omitted, got %v", *fs.Claims[1].RelErr)
+	}
+	if fs.Claims[2].RelErr != nil {
+		t.Errorf("Inf RelErr should be omitted, got %v", *fs.Claims[2].RelErr)
+	}
+}
+
+func TestWriteFileIsReadableReport(t *testing.T) {
+	sc := &Scorecard{
+		Score:   1,
+		Results: []Result{{ID: "a", Figure: "fig3", Kind: KindPoint, Status: Pass, RelErr: 0}},
+	}
+	path := filepath.Join(t.TempDir(), "nested", "dir", "scorecard.json")
+	if err := sc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("scorecard not written through missing parents: %v", err)
+	}
+	r, err := telemetry.ReadReport(path)
+	if err != nil {
+		t.Fatalf("scorecard artifact is not a readable perf report: %v", err)
+	}
+	if r.Fidelity == nil || r.Fidelity.Score != 1 {
+		t.Errorf("round-tripped fidelity section = %+v", r.Fidelity)
+	}
+	if r.Label != "fidelity-scorecard" {
+		t.Errorf("label = %q", r.Label)
+	}
+}
+
+func TestClaimIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if seen[c.ID] {
+			t.Errorf("duplicate claim ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Eval == nil {
+			t.Errorf("claim %s has no evaluator", c.ID)
+		}
+		if c.Kind == KindPoint && c.Tol.Fail < c.Tol.Warn {
+			t.Errorf("claim %s has inverted tolerance bands %+v", c.ID, c.Tol)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package runstore
+
+import (
+	"math"
+	"sort"
+
+	"bgpvr/internal/stats"
+)
+
+// Series is one metric's trajectory over the stored runs, oldest
+// first. Runs that do not carry the metric hold NaN, so every series
+// is index-aligned with the record list.
+type Series struct {
+	Name   string
+	Unit   string // "s", "ratio", "score", "count"
+	Values []float64
+}
+
+// Valid returns how many entries are usable (finite) observations.
+func (s Series) Valid() int {
+	n := 0
+	for _, v := range s.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// Last returns the newest usable observation (NaN when there is none).
+func (s Series) Last() float64 {
+	for i := len(s.Values) - 1; i >= 0; i-- {
+		if !math.IsNaN(s.Values[i]) && !math.IsInf(s.Values[i], 0) {
+			return s.Values[i]
+		}
+	}
+	return math.NaN()
+}
+
+// Metrics extracts the tracked metric series from the records: total
+// frame time, each phase's mean time, each phase's imbalance factor,
+// the critical-path duration, and the aggregate fidelity score.
+// Metric order is deterministic: the fixed metrics first, then phase
+// metrics sorted by name.
+func Metrics(recs []Record) []Series {
+	n := len(recs)
+	blank := func(name, unit string) *Series {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = math.NaN()
+		}
+		return &Series{Name: name, Unit: unit, Values: vals}
+	}
+	total := blank("total_sec", "s")
+	critpath := blank("critpath path_sec", "s")
+	fidelity := blank("fidelity score", "score")
+	phase := map[string]*Series{}
+	imbal := map[string]*Series{}
+	for i, rec := range recs {
+		r := rec.Report
+		if r == nil {
+			continue
+		}
+		if r.TotalSec > 0 {
+			total.Values[i] = r.TotalSec
+		}
+		if r.CritPath != nil {
+			critpath.Values[i] = r.CritPath.PathSec
+		}
+		if r.Fidelity != nil {
+			fidelity.Values[i] = r.Fidelity.Score
+		}
+		for _, p := range r.Phases {
+			s, ok := phase[p.Name]
+			if !ok {
+				s = blank("phase "+p.Name+" mean_sec", "s")
+				phase[p.Name] = s
+			}
+			s.Values[i] = p.MeanSec
+		}
+		for _, p := range r.Imbalance {
+			s, ok := imbal[p.Phase]
+			if !ok {
+				s = blank("imbalance "+p.Phase+" max/mean", "ratio")
+				imbal[p.Phase] = s
+			}
+			s.Values[i] = p.Imbalance
+		}
+	}
+	out := []Series{*total, *fidelity, *critpath}
+	for _, m := range []map[string]*Series{phase, imbal} {
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, *m[name])
+		}
+	}
+	return out
+}
+
+// Changepoint is a detected level shift in a metric series.
+type Changepoint struct {
+	// Index is the first run of the shifted segment.
+	Index int
+	// Before and After are the segment means either side of the split.
+	Before, After float64
+	// Shift is the relative change (After-Before)/|Before|.
+	Shift float64
+}
+
+// DetectChange runs a rolling changepoint test over the series: every
+// split point with at least minSeg usable observations on each side is
+// scored by the relative shift between the segment means, and the
+// strongest split is returned when its magnitude exceeds relThreshold
+// (e.g. 0.10 for 10%). NaN entries are ignored. Returns nil when no
+// split clears the threshold — the cross-run analogue of perfdiff's
+// pairwise gate, catching slow drift and step changes that any single
+// pair of runs would miss.
+func DetectChange(vals []float64, minSeg int, relThreshold float64) *Changepoint {
+	if minSeg < 1 {
+		minSeg = 1
+	}
+	var best *Changepoint
+	for split := 1; split < len(vals); split++ {
+		before, after := segMean(vals[:split]), segMean(vals[split:])
+		if before.N < minSeg || after.N < minSeg || before.Mean() == 0 {
+			continue
+		}
+		shift := (after.Mean() - before.Mean()) / math.Abs(before.Mean())
+		if math.Abs(shift) <= relThreshold {
+			continue
+		}
+		if best == nil || math.Abs(shift) > math.Abs(best.Shift) {
+			best = &Changepoint{Index: split, Before: before.Mean(), After: after.Mean(), Shift: shift}
+		}
+	}
+	return best
+}
+
+func segMean(vals []float64) stats.Summary {
+	var s stats.Summary
+	for _, v := range vals {
+		if math.IsInf(v, 0) {
+			continue
+		}
+		s.Add(v) // Summary.Add already rejects NaN
+	}
+	return s
+}
+
+// Worse reports whether a shift in this unit is a degradation: times,
+// ratios, and counts degrade upward, scores degrade downward.
+func Worse(unit string, shift float64) bool {
+	if unit == "score" {
+		return shift < 0
+	}
+	return shift > 0
+}

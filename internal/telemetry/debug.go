@@ -4,15 +4,31 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/trace"
 )
+
+// serveView writes v as indented JSON, or the text rendering with
+// ?text=1 — the shared contract of the analysis views.
+func serveView(w http.ResponseWriter, r *http.Request, v any, text func() string) {
+	if r.URL.Query().Get("text") != "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
 
 // Snapshot is the live view served at /telemetry and published through
 // expvar: the trace counter totals plus histogram and link-usage
@@ -22,6 +38,24 @@ type Snapshot struct {
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	Histograms []HistogramStat  `json:"histograms,omitempty"`
 	Network    *NetworkStat     `json:"network,omitempty"`
+}
+
+// DebugSource bundles what the debug endpoint serves. Every field is
+// optional; views whose source is absent answer 404.
+type DebugSource struct {
+	// Tracer and Net feed the live /telemetry snapshot and expvar.
+	Tracer *trace.Tracer
+	Net    *NetTelemetry
+	// Crit is invoked on each /critpath request to produce a live
+	// critical-path analysis; return nil while the run is still going
+	// (the view answers 503 until then).
+	Crit func() *critpath.Analysis
+	// Fidelity is invoked on each /fidelity request to produce the
+	// paper-fidelity scorecard; same nil-means-pending contract.
+	Fidelity func() *FidelityStat
+	// RunsPath, when set, is the runstore JSONL file streamed verbatim
+	// at /runs (application/x-ndjson): one perf record per line.
+	RunsPath string
 }
 
 // snapshotSource is what the debug server reads on each request. The
@@ -63,8 +97,8 @@ var (
 
 // DebugServer is the opt-in -debug-addr HTTP endpoint: net/http/pprof
 // under /debug/pprof/, expvar under /debug/vars (including a "bgpvr"
-// var with the live telemetry snapshot), and the JSON snapshot at
-// /telemetry.
+// var with the live telemetry snapshot), the JSON snapshot at
+// /telemetry, and the analysis views /critpath, /fidelity, /runs.
 type DebugServer struct {
 	Addr string // the bound address (resolves ":0")
 	ln   net.Listener
@@ -72,14 +106,11 @@ type DebugServer struct {
 }
 
 // StartDebug binds addr and serves the debug endpoint in the
-// background until Close. tracer and nt may be nil; whatever is
-// present appears in the snapshot. crit, when non-nil, is invoked on
-// each /critpath request to produce a live critical-path analysis
-// (assemble it from the run's tracer and recorder, or a prebuilt
-// graph); /critpath serves it as JSON, or as the text report with
-// ?text=1.
-func StartDebug(addr string, tracer *trace.Tracer, nt *NetTelemetry, crit func() *critpath.Analysis) (*DebugServer, error) {
-	src := &snapshotSource{tracer: tracer, net: nt}
+// background until Close. Every DebugSource field is optional;
+// /critpath and /fidelity serve JSON, or the text report with
+// ?text=1, and answer 503 while their producer still returns nil.
+func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
+	src := &snapshotSource{tracer: ds.Tracer, net: ds.Net}
 	expvarSrc.Store(src)
 	expvarOnce.Do(func() {
 		expvar.Publish("bgpvr", expvar.Func(func() any {
@@ -105,31 +136,49 @@ func StartDebug(addr string, tracer *trace.Tracer, nt *NetTelemetry, crit func()
 		_ = enc.Encode(src.snapshot())
 	})
 	mux.HandleFunc("/critpath", func(w http.ResponseWriter, r *http.Request) {
-		if crit == nil {
+		if ds.Crit == nil {
 			http.Error(w, "no critical-path source attached (run with -critpath)", http.StatusNotFound)
 			return
 		}
-		a := crit()
+		a := ds.Crit()
 		if a == nil {
 			http.Error(w, "critical-path analysis not available yet", http.StatusServiceUnavailable)
 			return
 		}
-		if r.URL.Query().Get("text") != "" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprint(w, a.Text())
+		serveView(w, r, a, a.Text)
+	})
+	mux.HandleFunc("/fidelity", func(w http.ResponseWriter, r *http.Request) {
+		if ds.Fidelity == nil {
+			http.Error(w, "no fidelity source attached (run experiments -exp fidelity)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(a)
+		f := ds.Fidelity()
+		if f == nil {
+			http.Error(w, "fidelity scorecard not available yet", http.StatusServiceUnavailable)
+			return
+		}
+		serveView(w, r, f, f.Table)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		if ds.RunsPath == "" {
+			http.Error(w, "no run store attached (run with -run-record)", http.StatusNotFound)
+			return
+		}
+		f, err := os.Open(ds.RunsPath)
+		if err != nil {
+			http.Error(w, "run store not readable yet: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = io.Copy(w, f)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry  /critpath\n")
+		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry  /critpath  /fidelity  /runs\n")
 	})
 	s := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -33,7 +35,7 @@ func TestDebugServer(t *testing.T) {
 	_, u := goldenUsage()
 	nt.Links = u
 
-	srv, err := StartDebug("127.0.0.1:0", tr, nt, nil)
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{Tracer: tr, Net: nt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestDebugServer(t *testing.T) {
 	// must serve the new source.
 	tr2 := trace.NewVirtual(1)
 	tr2.Rank(0).Add(trace.CounterMessages, 99)
-	srv2, err := StartDebug("127.0.0.1:0", tr2, nil, nil)
+	srv2, err := StartDebug("127.0.0.1:0", DebugSource{Tracer: tr2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestDebugServerNilClose(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Errorf("nil Close = %v", err)
 	}
-	if _, err := StartDebug("256.0.0.1:99999", nil, nil, nil); err == nil {
+	if _, err := StartDebug("256.0.0.1:99999", DebugSource{}); err == nil {
 		t.Error("bad address accepted")
 	}
 }
@@ -102,7 +104,7 @@ func TestDebugServerNilClose(t *testing.T) {
 // source attached, 503 while the analysis is pending, then JSON and
 // the ?text=1 plain report once it exists.
 func TestDebugServerCritPath(t *testing.T) {
-	srvNone, err := StartDebug("127.0.0.1:0", nil, nil, nil)
+	srvNone, err := StartDebug("127.0.0.1:0", DebugSource{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestDebugServerCritPath(t *testing.T) {
 	}
 
 	var an *critpath.Analysis
-	srv, err := StartDebug("127.0.0.1:0", nil, nil, func() *critpath.Analysis { return an })
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{Crit: func() *critpath.Analysis { return an }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,5 +148,84 @@ func TestDebugServerCritPath(t *testing.T) {
 	}
 	if code, body := get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/critpath") {
 		t.Errorf("index missing /critpath: status %d body %q", code, body)
+	}
+}
+
+// TestDebugServerFidelity covers the /fidelity view: 404 with no
+// source, 503 while pending, then JSON and the ?text=1 table.
+func TestDebugServerFidelity(t *testing.T) {
+	srvNone, err := StartDebug("127.0.0.1:0", DebugSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvNone.Close()
+	if code, _ := get(t, "http://"+srvNone.Addr+"/fidelity"); code != http.StatusNotFound {
+		t.Errorf("no source: status %d, want 404", code)
+	}
+
+	var fs *FidelityStat
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{Fidelity: func() *FidelityStat { return fs }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+	if code, _ := get(t, base+"/fidelity"); code != http.StatusServiceUnavailable {
+		t.Errorf("pending scorecard: status %d, want 503", code)
+	}
+
+	relerr := 0.07
+	fs = &FidelityStat{Score: 0.9, Pass: 1, Warn: 1, Claims: []ClaimStat{
+		{ID: "fig3/best-total", Figure: "fig3", Kind: "point", Paper: "5.9 s",
+			Measured: "6.33 s", RelErr: &relerr, Status: "pass"},
+		{ID: "fig6/io-dominates", Figure: "fig6", Kind: "shape", Paper: "I/O dominates",
+			Measured: "97% at 16K", Status: "warn"},
+	}}
+	code, body := get(t, base+"/fidelity")
+	if code != http.StatusOK {
+		t.Fatalf("/fidelity status %d", code)
+	}
+	var got FidelityStat
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/fidelity not JSON: %v\n%s", err, body)
+	}
+	if got.Score != 0.9 || len(got.Claims) != 2 || *got.Claims[0].RelErr != relerr {
+		t.Errorf("scorecard over the wire: %+v", got)
+	}
+	code, body = get(t, base+"/fidelity?text=1")
+	if code != http.StatusOK || !strings.Contains(body, "fig3/best-total") || !strings.Contains(body, "score 0.900") {
+		t.Errorf("text view: status %d body %q", code, body)
+	}
+}
+
+// TestDebugServerRuns covers /runs: 404 with no store, 503 before the
+// file exists, then the JSONL stream once it does.
+func TestDebugServerRuns(t *testing.T) {
+	srvNone, err := StartDebug("127.0.0.1:0", DebugSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvNone.Close()
+	if code, _ := get(t, "http://"+srvNone.Addr+"/runs"); code != http.StatusNotFound {
+		t.Errorf("no store: status %d, want 404", code)
+	}
+
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{RunsPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+	if code, _ := get(t, base+"/runs"); code != http.StatusServiceUnavailable {
+		t.Errorf("missing file: status %d, want 503", code)
+	}
+	line := `{"id":"abc123","report":{"schema":3,"total_sec":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, base+"/runs")
+	if code != http.StatusOK || body != line {
+		t.Errorf("/runs status %d body %q", code, body)
 	}
 }

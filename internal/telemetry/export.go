@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -215,9 +216,14 @@ func WriteHeatmapPGM(w io.Writer, top torus.Topology, u *LinkUsage, m Metric) er
 	return nil
 }
 
-// WriteHeatmapFiles writes base.csv and base.pgm next to each other and
-// returns their paths.
+// WriteHeatmapFiles writes base.csv and base.pgm next to each other,
+// creating missing parent directories, and returns their paths.
 func WriteHeatmapFiles(base string, top torus.Topology, u *LinkUsage, m Metric) (csvPath, pgmPath string, err error) {
+	if dir := filepath.Dir(base); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", "", err
+		}
+	}
 	csvPath, pgmPath = base+".csv", base+".pgm"
 	cf, err := os.Create(csvPath)
 	if err != nil {

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/trace"
@@ -21,7 +23,8 @@ import (
 //
 //	1 — phases, counters, histograms, network, runtime
 //	2 — adds the critpath and imbalance sections
-const ReportSchema = 2
+//	3 — adds the fidelity section (paper-fidelity scorecard)
+const ReportSchema = 3
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -42,7 +45,41 @@ type Report struct {
 	Network    *NetworkStat      `json:"network,omitempty"`
 	CritPath   *CritPathStat     `json:"critpath,omitempty"`
 	Imbalance  []ImbalanceStat   `json:"imbalance,omitempty"`
+	Fidelity   *FidelityStat     `json:"fidelity,omitempty"`
 	Runtime    *RuntimeStat      `json:"runtime,omitempty"`
+}
+
+// FidelityStat is the paper-fidelity scorecard section: how closely
+// the model tracks the paper's published values and qualitative shape
+// claims. Package fidelity builds it (Scorecard.Stat); it lives here
+// so perf reports can carry it without telemetry importing the bench
+// stack.
+type FidelityStat struct {
+	// Score is the aggregate fidelity in [0, 1]: the mean over claims
+	// of 1 (pass), 0.5 (warn), 0 (fail).
+	Score  float64     `json:"score"`
+	Pass   int         `json:"pass"`
+	Warn   int         `json:"warn"`
+	Fail   int         `json:"fail"`
+	Claims []ClaimStat `json:"claims,omitempty"`
+}
+
+// ClaimStat is one evaluated paper claim.
+type ClaimStat struct {
+	ID     string `json:"id"`     // e.g. "fig3/best-total"
+	Figure string `json:"figure"` // fig3..fig7, table2
+	Kind   string `json:"kind"`   // point, shape, crossover
+	// Paper and Measured are display strings (a point value with its
+	// unit, or a predicate description) — the numeric comparison is
+	// RelErr.
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+	// RelErr is |measured-paper|/|paper| for point claims; nil for
+	// shape predicates (which are pass/fail) and when the measured
+	// point is missing.
+	RelErr *float64 `json:"rel_err,omitempty"`
+	Status string   `json:"status"` // pass, warn, fail
+	Detail string   `json:"detail,omitempty"`
 }
 
 // PhaseStat is one pipeline phase's per-rank time summary.
@@ -265,8 +302,14 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteFile writes the report to path.
+// WriteFile writes the report to path, creating missing parent
+// directories.
 func (r *Report) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -390,6 +433,83 @@ func CompareImbalance(old, new *Report, threshold float64) []Delta {
 			old.CritPath.PathSec, new.CritPath.PathSec, threshold))
 	}
 	return deltas
+}
+
+// statusRank orders claim statuses by badness for regression checks.
+func statusRank(s string) float64 {
+	switch s {
+	case "pass":
+		return 0
+	case "warn":
+		return 1
+	}
+	return 2
+}
+
+// CompareFidelity compares the fidelity scorecards of two reports.
+// The aggregate score *dropping* by more than threshold (relative) is
+// a regression, as is any individual claim's status getting worse
+// (pass -> warn/fail, warn -> fail) — shape predicates flipping from
+// holding to broken fail regardless of how the aggregate moves. Both
+// reports must carry a fidelity section for anything to compare.
+func CompareFidelity(old, new *Report, threshold float64) []Delta {
+	if old.Fidelity == nil || new.Fidelity == nil {
+		return nil
+	}
+	d := Delta{Metric: "fidelity score", Class: "fidelity", Unit: "score",
+		Old: old.Fidelity.Score, New: new.Fidelity.Score}
+	if d.Old > 0 && (d.Old-d.New)/d.Old > threshold {
+		d.Regression = true
+	}
+	deltas := []Delta{d}
+	oldClaims := map[string]ClaimStat{}
+	for _, c := range old.Fidelity.Claims {
+		oldClaims[c.ID] = c
+	}
+	var ids []string
+	newClaims := map[string]ClaimStat{}
+	for _, c := range new.Fidelity.Claims {
+		newClaims[c.ID] = c
+		if _, ok := oldClaims[c.ID]; ok {
+			ids = append(ids, c.ID)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o, n := statusRank(oldClaims[id].Status), statusRank(newClaims[id].Status)
+		if o == n {
+			continue // only status changes are worth a line
+		}
+		deltas = append(deltas, Delta{
+			Metric: "fidelity claim " + id, Class: "fidelity", Unit: "status",
+			Old: o, New: n, Regression: n > o,
+		})
+	}
+	return deltas
+}
+
+// Table renders the scorecard as an aligned text table — the compact
+// view the debug endpoint serves at /fidelity?text=1. The full report
+// with per-figure sections is fidelity.Scorecard.Text.
+func (f *FidelityStat) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "paper-fidelity scorecard: score %.3f (%d pass, %d warn, %d fail of %d claims)\n",
+		f.Score, f.Pass, f.Warn, f.Fail, len(f.Claims))
+	w := 0
+	for _, c := range f.Claims {
+		if len(c.ID) > w {
+			w = len(c.ID)
+		}
+	}
+	for _, c := range f.Claims {
+		relerr := "      -"
+		if c.RelErr != nil {
+			relerr = fmt.Sprintf("%6.1f%%", 100**c.RelErr)
+		}
+		fmt.Fprintf(&b, "%-4s %-*s  %s  paper %s, measured %s\n",
+			c.Status, w, c.ID, relerr, c.Paper, c.Measured)
+	}
+	return b.String()
 }
 
 func flagDelta(metric, class, unit string, old, new, threshold float64) Delta {

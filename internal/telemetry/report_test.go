@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"bgpvr/internal/critpath"
@@ -222,5 +223,70 @@ func TestCompareImbalance(t *testing.T) {
 	cur.CritPath = nil
 	if d := CompareImbalance(old, cur, 0.10); len(d) != 2 {
 		t.Errorf("%d deltas without critpath, want 2", len(d))
+	}
+}
+
+func TestCompareFidelity(t *testing.T) {
+	e := func(v float64) *float64 { return &v }
+	old := &Report{Fidelity: &FidelityStat{Score: 0.95, Claims: []ClaimStat{
+		{ID: "fig3/best-total", Status: "pass", RelErr: e(0.05)},
+		{ID: "fig4/fall-from-peak", Status: "pass"},
+		{ID: "fig7/raw-plateau", Status: "warn", RelErr: e(0.4)},
+	}}}
+	cur := &Report{Fidelity: &FidelityStat{Score: 0.80, Claims: []ClaimStat{
+		{ID: "fig3/best-total", Status: "fail", RelErr: e(0.6)},  // worsened
+		{ID: "fig4/fall-from-peak", Status: "pass"},              // unchanged
+		{ID: "fig7/raw-plateau", Status: "pass", RelErr: e(0.1)}, // improved
+	}}}
+	deltas := CompareFidelity(old, cur, 0.05)
+	if len(deltas) != 3 {
+		t.Fatalf("%d deltas, want 3 (score + 2 status changes): %+v", len(deltas), deltas)
+	}
+	if deltas[0].Metric != "fidelity score" || !deltas[0].Regression {
+		t.Errorf("score drop 0.95 -> 0.80 not flagged: %+v", deltas[0])
+	}
+	byMetric := map[string]Delta{}
+	for _, d := range deltas {
+		byMetric[d.Metric] = d
+	}
+	if _, ok := byMetric["fidelity claim fig4/fall-from-peak"]; ok {
+		t.Error("unchanged claim emitted a delta")
+	}
+	worse := byMetric["fidelity claim fig3/best-total"]
+	if !worse.Regression || worse.Unit != "status" {
+		t.Errorf("pass -> fail not a regression: %+v", worse)
+	}
+	better := byMetric["fidelity claim fig7/raw-plateau"]
+	if better.Regression {
+		t.Errorf("warn -> pass flagged as regression: %+v", better)
+	}
+
+	// A small score wobble under the threshold is not a regression.
+	cur2 := &Report{Fidelity: &FidelityStat{Score: 0.93}}
+	deltas = CompareFidelity(old, cur2, 0.05)
+	if len(deltas) != 1 || deltas[0].Regression {
+		t.Errorf("2%% score wobble at 5%% threshold flagged: %+v", deltas)
+	}
+
+	// Reports without fidelity sections compare to nothing.
+	if d := CompareFidelity(old, &Report{}, 0.05); d != nil {
+		t.Errorf("missing new-side fidelity produced deltas: %+v", d)
+	}
+	if d := CompareFidelity(&Report{}, cur, 0.05); d != nil {
+		t.Errorf("missing old-side fidelity produced deltas: %+v", d)
+	}
+}
+
+func TestFidelityStatTable(t *testing.T) {
+	e := 0.074
+	f := &FidelityStat{Score: 0.957, Pass: 1, Warn: 1, Claims: []ClaimStat{
+		{ID: "fig3/best-total", Status: "pass", RelErr: &e, Paper: "5.90 s", Measured: "6.33 s"},
+		{ID: "fig4/fall-from-peak", Status: "warn", Paper: "falls", Measured: "falls, barely"},
+	}}
+	got := f.Table()
+	for _, want := range []string{"score 0.957", "1 pass, 1 warn, 0 fail", "fig3/best-total", "7.4%", "paper 5.90 s, measured 6.33 s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
 	}
 }
