@@ -11,6 +11,7 @@ package bgpvr
 // regeneration pass.
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -275,21 +276,29 @@ func BenchmarkAblationGhost(b *testing.B) {
 // --- Substrate micro-benchmarks --------------------------------------
 
 // BenchmarkRenderBlock measures the ray-casting hot loop; it also
-// calibrates the real-mode seconds-per-sample constant.
+// calibrates the real-mode seconds-per-sample constant. The workers
+// sub-benchmarks cast one 256^3 block with the internal/par scanline
+// pool and should scale near-linearly 1 -> 4 workers (given cores).
 func BenchmarkRenderBlock(b *testing.B) {
-	scene := core.DefaultScene(64, 256)
+	scene := core.DefaultScene(256, 256)
 	sn := scene.Supernova()
-	d := grid.NewDecomp(scene.Dims, 8)
+	d := grid.NewDecomp(scene.Dims, 1)
 	fld := sn.Generate(scene.Variable, scene.Dims, d.GhostExtent(0, 1))
 	cam := scene.Camera()
 	tf := scene.Transfer()
-	b.ResetTimer()
-	var samples int64
-	for i := 0; i < b.N; i++ {
-		sub := render.RenderBlock(fld, d.BlockExtent(0), cam, tf, scene.RenderConfig())
-		samples = sub.Samples
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := scene.RenderConfig()
+			cfg.Workers = w
+			var samples int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sub := render.RenderBlock(fld, d.BlockExtent(0), cam, tf, cfg)
+				samples = sub.Samples
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(samples)/float64(b.N), "ns/sample")
+		})
 	}
-	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(samples)/float64(b.N), "ns/sample")
 }
 
 // BenchmarkSupernovaEval measures synthetic-data generation.

@@ -26,6 +26,7 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/mpiio"
+	"bgpvr/internal/par"
 	"bgpvr/internal/runstore"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
@@ -54,6 +55,7 @@ func main() {
 	critOut := flag.String("critpath", "", "print the critical-path & load-imbalance report and write the full analysis as JSON to this file")
 	linkmap := flag.String("linkmap", "", "write the compositing phase's per-link contention map as <prefix>.csv and <prefix>.pgm (model mode)")
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
+	workers := flag.Int("workers", 0, "worker goroutines for the parallel render loops (0 = all cores)")
 	flag.Parse()
 
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
@@ -61,7 +63,7 @@ func main() {
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
 		traceOut: *traceOut, breakdown: *breakdown, critpath: *critOut,
 		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap,
-		runRecord: *runRecord}); err != nil {
+		runRecord: *runRecord, workers: par.Workers(*workers)}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
 	}
@@ -113,6 +115,7 @@ type runArgs struct {
 	perfReport    string
 	linkmap       string
 	runRecord     string
+	workers       int // resolved pool width (par.Workers already applied)
 }
 
 // critTopK is how many straggler ranks each phase reports.
@@ -183,6 +186,8 @@ func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *crit
 	r.AddNetTelemetry(nt)
 	r.AddCritPath(an)
 	r.AddRuntime(time.Since(wallStart).Seconds())
+	busy, wall := par.Stats()
+	r.AddParallel(a.workers, busy.Seconds(), wall.Seconds())
 	if a.perfReport != "" {
 		if err := r.WriteFile(a.perfReport); err != nil {
 			return fmt.Errorf("writing perf report: %w", err)
@@ -223,6 +228,7 @@ func run(a runArgs) error {
 	scene := core.DefaultScene(n, imgSize)
 	scene.Perspective = persp
 	scene.Shaded = a.shaded
+	scene.RenderWorkers = a.workers
 	hints := mpiio.Hints{CBBufferSize: window}
 
 	wantReport := a.perfReport != "" || a.runRecord != ""

@@ -33,6 +33,7 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/fidelity"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/par"
 	"bgpvr/internal/runstore"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
@@ -52,7 +53,7 @@ func record(path string, r *telemetry.Report) error {
 // fidelityRun regenerates the paper's exhibits, scores them against
 // the published claims, and exports whatever the flags asked for. It
 // returns the scorecard's report section for the debug endpoint.
-func fidelityRun(mach machine.Machine, scorecardOut, perfReport, runRecord string) (*telemetry.FidelityStat, error) {
+func fidelityRun(mach machine.Machine, workers int, scorecardOut, perfReport, runRecord string) (*telemetry.FidelityStat, error) {
 	wallStart := time.Now()
 	sc, err := fidelity.Evaluate(mach)
 	if err != nil {
@@ -73,6 +74,8 @@ func fidelityRun(mach machine.Machine, scorecardOut, perfReport, runRecord strin
 	r.Config = map[string]string{"exp": "fidelity", "machine": "bgp"}
 	r.Fidelity = stat
 	r.AddRuntime(time.Since(wallStart).Seconds())
+	busy, wall := par.Stats()
+	r.AddParallel(workers, busy.Seconds(), wall.Seconds())
 	if perfReport != "" {
 		if err := r.WriteFile(perfReport); err != nil {
 			return stat, fmt.Errorf("writing perf report: %w", err)
@@ -91,7 +94,7 @@ func fidelityRun(mach machine.Machine, scorecardOut, perfReport, runRecord strin
 // with a virtual tracer (and, when asked, a causal event graph) and
 // exports what the flags asked for. It returns the critical-path
 // analysis (nil when no flag wanted one) for the debug endpoint.
-func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfReport, critOut, runRecord string) (*critpath.Analysis, error) {
+func tracedFrame(n, imgSize, procs, workers int, traceOut string, breakdown bool, perfReport, critOut, runRecord string) (*critpath.Analysis, error) {
 	wallStart := time.Now()
 	tr := trace.NewVirtual(1)
 	wantReport := perfReport != "" || runRecord != ""
@@ -103,8 +106,10 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfRep
 	if critOut != "" || wantReport {
 		cg = critpath.NewGraph(procs)
 	}
+	scene := core.DefaultScene(n, imgSize)
+	scene.RenderWorkers = workers
 	res, err := core.RunModel(core.ModelConfig{
-		Scene:    core.DefaultScene(n, imgSize),
+		Scene:    scene,
 		Procs:    procs,
 		Format:   core.FormatRaw,
 		Trace:    tr,
@@ -150,6 +155,8 @@ func tracedFrame(n, imgSize, procs int, traceOut string, breakdown bool, perfRep
 		r.AddNetTelemetry(nt)
 		r.AddCritPath(an)
 		r.AddRuntime(time.Since(wallStart).Seconds())
+		busy, wall := par.Stats()
+		r.AddParallel(workers, busy.Seconds(), wall.Seconds())
 		if perfReport != "" {
 			if err := r.WriteFile(perfReport); err != nil {
 				return an, fmt.Errorf("writing perf report: %w", err)
@@ -177,8 +184,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve a live debug endpoint (net/http/pprof, expvar, /telemetry, /critpath, /fidelity, /runs) while running")
 	scorecardOut := flag.String("scorecard", "", "write the fidelity scorecard JSON to this file (-exp fidelity)")
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
+	workers := flag.Int("workers", 0, "worker goroutines for the sweep and render loops (0 = all cores)")
 	flag.Parse()
 
+	w := par.Workers(*workers)
+	bench.Workers = w
 	mach := machine.NewBGP()
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	fail := func(err error) {
@@ -200,7 +210,7 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath, /fidelity, /runs)\n", srv.Addr)
 	}
 	if *exp == "fidelity" {
-		stat, err := fidelityRun(mach, *scorecardOut, *perfReport, *runRecord)
+		stat, err := fidelityRun(mach, w, *scorecardOut, *perfReport, *runRecord)
 		fidA.Store(stat)
 		if err != nil {
 			fail(err)
@@ -208,7 +218,7 @@ func main() {
 		return
 	}
 	if *traceOut != "" || *breakdown || *perfReport != "" || *critOut != "" || *runRecord != "" {
-		an, err := tracedFrame(*n, *imgSize, *procs, *traceOut, *breakdown, *perfReport, *critOut, *runRecord)
+		an, err := tracedFrame(*n, *imgSize, *procs, w, *traceOut, *breakdown, *perfReport, *critOut, *runRecord)
 		critA.Store(an)
 		if err != nil {
 			fail(err)

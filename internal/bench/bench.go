@@ -15,6 +15,13 @@ import (
 	"bgpvr/internal/stats"
 )
 
+// Workers is the pool width the sweep drivers hand to par.ForErr:
+// every scale point of a figure is an independent model run writing its
+// own result slot, so the sweeps evaluate concurrently and assemble
+// bit-identical tables at any width. 0 means all cores (par.Workers);
+// cmd/experiments overrides it from -workers.
+var Workers = 0
+
 // ProcSweep is the paper's core-count axis (Fig 3, 6, 7).
 var ProcSweep = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 

@@ -5,6 +5,7 @@ import (
 
 	"bgpvr/internal/core"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/par"
 	"bgpvr/internal/torus"
 )
 
@@ -25,26 +26,31 @@ func Fig3(mach machine.Machine) ([]Fig3Point, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	var pts []Fig3Point
-	for _, p := range ProcSweep {
+	pts := make([]Fig3Point, len(ProcSweep))
+	err = par.ForErr(Workers, len(ProcSweep), func(i int) error {
+		p := ProcSweep[i]
 		orig, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Compositors: p, Format: core.FormatRaw, Machine: mach})
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		impr, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Format: core.FormatRaw, Machine: mach})
 		if err != nil {
-			return nil, "", err
+			return err
 		}
-		pts = append(pts, Fig3Point{
+		pts[i] = Fig3Point{
 			Procs:             p,
 			IO:                impr.Times.IO,
 			Render:            impr.Times.Render,
 			CompositeOriginal: orig.Times.Composite,
 			CompositeImproved: impr.Times.Composite,
 			Total:             impr.Times.Total,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	t := Table{
 		Title:   "Fig 3: total and component time, 1120^3 raw, 1600^2 image (seconds)",
@@ -75,34 +81,42 @@ func Fig4(mach machine.Machine) ([]Fig4Point, string, error) {
 		return nil, "", err
 	}
 	imgBytes := int64(scene.ImageW) * int64(scene.ImageH) * 4
-	var pts []Fig4Point
+	var ps []int
 	for _, p := range ProcSweep {
-		if p < 256 {
-			continue // the paper's Fig 4 starts at 256
+		if p >= 256 { // the paper's Fig 4 starts at 256
+			ps = append(ps, p)
 		}
+	}
+	pts := make([]Fig4Point, len(ps))
+	err = par.ForErr(Workers, len(ps), func(i int) error {
+		p := ps[i]
 		orig, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Compositors: p, Format: core.FormatGenerate, Machine: mach})
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		impr, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Format: core.FormatGenerate, Machine: mach})
 		if err != nil {
-			return nil, "", err
+			return err
 		}
 		msgSize := imgBytes / int64(p)
 		// Peak: every node-pair transfer of one message at full link
 		// bandwidth, aggregated over p concurrent transfers.
 		peakPer := torus.PeakPhaseTime(mach.Torus, msgSize)
 		peak := float64(imgBytes) / peakPer
-		pts = append(pts, Fig4Point{
+		pts[i] = Fig4Point{
 			Procs:        p,
 			MsgBytes:     msgSize,
 			PeakBW:       peak,
 			OriginalBW:   orig.Composite.Bandwidth(),
 			ImprovedBW:   impr.Composite.Bandwidth(),
 			OrigMessages: orig.Messages,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	t := Table{
 		Title:   "Fig 4: compositing communication bandwidth vs message size (MB/s)",
@@ -125,12 +139,16 @@ type Fig5Point struct {
 // Fig5 reports the total frame time for the three problem sizes across
 // the core-count sweep.
 func Fig5(mach machine.Machine) ([]Fig5Point, string, error) {
-	var pts []Fig5Point
 	t := Table{
 		Title:   "Fig 5: overall frame time (s) for three data/image sizes",
 		Columns: []string{"procs", "1120^3/1600^2", "2240^3/2048^2", "4480^3/4096^2"},
 	}
 	rows := map[int][]string{}
+	type fig5Job struct {
+		scene core.Scene
+		n, p  int
+	}
+	var jobs []fig5Job
 	for _, n := range []int{1120, 2240, 4480} {
 		scene, err := core.PaperScene(n)
 		if err != nil {
@@ -142,13 +160,22 @@ func Fig5(mach machine.Machine) ([]Fig5Point, string, error) {
 			if int64(n)*int64(n)*int64(n)*4/int64(p) > 400<<20 {
 				continue
 			}
-			r, err := core.RunModel(core.ModelConfig{
-				Scene: scene, Procs: p, Format: core.FormatRaw, Machine: mach})
-			if err != nil {
-				return nil, "", err
-			}
-			pts = append(pts, Fig5Point{Grid: n, Procs: p, Total: r.Times.Total})
+			jobs = append(jobs, fig5Job{scene: scene, n: n, p: p})
 		}
+	}
+	pts := make([]Fig5Point, len(jobs))
+	err := par.ForErr(Workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		r, err := core.RunModel(core.ModelConfig{
+			Scene: j.scene, Procs: j.p, Format: core.FormatRaw, Machine: mach})
+		if err != nil {
+			return err
+		}
+		pts[i] = Fig5Point{Grid: j.n, Procs: j.p, Total: r.Times.Total}
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
 	}
 	for _, p := range ProcSweep {
 		row := []string{fmt.Sprint(p), "-", "-", "-"}
@@ -239,25 +266,31 @@ func Fig6(mach machine.Machine) ([]Fig6Point, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	var pts []Fig6Point
 	t := Table{
 		Title:   "Fig 6: percent of total frame time per stage, 1120^3 raw",
 		Columns: []string{"procs", "% I/O", "% render", "% composite"},
 	}
-	for _, p := range ProcSweep {
+	pts := make([]Fig6Point, len(ProcSweep))
+	err = par.ForErr(Workers, len(ProcSweep), func(i int) error {
+		p := ProcSweep[i]
 		r, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Format: core.FormatRaw, Machine: mach})
 		if err != nil {
-			return nil, "", err
+			return err
 		}
-		pt := Fig6Point{
+		pts[i] = Fig6Point{
 			Procs:     p,
 			PctIO:     core.Percent(r.Times.IO, r.Times.Total),
 			PctRender: core.Percent(r.Times.Render, r.Times.Total),
 			PctComp:   core.Percent(r.Times.Composite, r.Times.Total),
 		}
-		pts = append(pts, pt)
-		t.AddRow(fmt.Sprint(p), f1(pt.PctIO), f1(pt.PctRender), f1(pt.PctComp))
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for _, pt := range pts {
+		t.AddRow(fmt.Sprint(pt.Procs), f1(pt.PctIO), f1(pt.PctRender), f1(pt.PctComp))
 	}
 	return pts, t.String(), nil
 }
@@ -276,33 +309,41 @@ func Fig7(mach machine.Machine) ([]Fig7Point, string, error) {
 		return nil, "", err
 	}
 	recSize := int64(scene.Dims.X) * int64(scene.Dims.Y) * 4
-	var pts []Fig7Point
 	t := Table{
 		Title:   "Fig 7: I/O bandwidth (MB/s), 1120^3",
 		Columns: []string{"procs", "raw", "tuned PnetCDF", "original PnetCDF"},
 	}
-	for _, p := range ProcSweep {
-		run := func(format core.Format, window int64) float64 {
+	pts := make([]Fig7Point, len(ProcSweep))
+	err = par.ForErr(Workers, len(ProcSweep), func(i int) error {
+		p := ProcSweep[i]
+		run := func(format core.Format, window int64) (float64, error) {
 			cfg := core.ModelConfig{Scene: scene, Procs: p, Format: format, Machine: mach}
 			cfg.Hints.CBBufferSize = window
-			r, err2 := core.RunModel(cfg)
-			if err2 != nil {
-				err = err2
-				return 0
+			r, err := core.RunModel(cfg)
+			if err != nil {
+				return 0, err
 			}
-			return r.ReadBW
+			return r.ReadBW, nil
 		}
-		pt := Fig7Point{
-			Procs:   p,
-			RawBW:   run(core.FormatRaw, 0),
-			TunedBW: run(core.FormatNetCDF, recSize),
-			OrigBW:  run(core.FormatNetCDF, 0),
+		pt := Fig7Point{Procs: p}
+		var err error
+		if pt.RawBW, err = run(core.FormatRaw, 0); err != nil {
+			return err
 		}
-		if err != nil {
-			return nil, "", err
+		if pt.TunedBW, err = run(core.FormatNetCDF, recSize); err != nil {
+			return err
 		}
-		pts = append(pts, pt)
-		t.AddRow(fmt.Sprint(p), mbps(pt.RawBW), mbps(pt.TunedBW), mbps(pt.OrigBW))
+		if pt.OrigBW, err = run(core.FormatNetCDF, 0); err != nil {
+			return err
+		}
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for _, pt := range pts {
+		t.AddRow(fmt.Sprint(pt.Procs), mbps(pt.RawBW), mbps(pt.TunedBW), mbps(pt.OrigBW))
 	}
 	return pts, t.String(), nil
 }

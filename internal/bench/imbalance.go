@@ -11,6 +11,7 @@ import (
 	"bgpvr/internal/grid"
 	"bgpvr/internal/img"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/par"
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/torus"
@@ -59,24 +60,27 @@ func imbalanceRun(mach machine.Machine, scene core.Scene, procs, m int) (Imbalan
 // compositing exchange's per-rank busy-time spread.
 func Imbalance(mach machine.Machine) ([]ImbalanceRun, string, error) {
 	scene := core.DefaultScene(1120, 1600)
-	var runs []ImbalanceRun
 
 	rt := Table{
 		Title:   "Render imbalance vs block count (1120^3 volume, 1600^2 image, one block per core, improved m)",
 		Columns: []string{"cores", "mean", "max", "imbal", "cov", "gini", "slack", "balanced saves"},
 	}
-	for _, p := range ImbalanceSweep {
-		r, err := imbalanceRun(mach, scene, p, 0)
-		if err != nil {
-			return nil, "", err
-		}
-		runs = append(runs, r)
+	renderRuns := make([]ImbalanceRun, len(ImbalanceSweep))
+	err := par.ForErr(Workers, len(ImbalanceSweep), func(i int) error {
+		r, err := imbalanceRun(mach, scene, ImbalanceSweep[i], 0)
+		renderRuns[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for i, r := range renderRuns {
 		ri := r.Analysis.PhaseInfo("render")
 		w := r.Analysis.WhatIfFor("render")
 		if ri == nil || w == nil {
-			return nil, "", fmt.Errorf("bench: no render analysis at %d cores", p)
+			return nil, "", fmt.Errorf("bench: no render analysis at %d cores", ImbalanceSweep[i])
 		}
-		rt.AddRow(fmt.Sprint(p), secs(ri.MeanSec), secs(ri.MaxSec), f3(ri.Imbalance),
+		rt.AddRow(fmt.Sprint(r.Procs), secs(ri.MeanSec), secs(ri.MaxSec), f3(ri.Imbalance),
 			f3(ri.CoV), f3(ri.Gini), secs(ri.SlackSec), secs(w.SavedSec))
 	}
 
@@ -84,29 +88,40 @@ func Imbalance(mach machine.Machine) ([]ImbalanceRun, string, error) {
 		Title:   "Compositing imbalance vs m (direct-send; m* is the improved rule)",
 		Columns: []string{"cores", "m", "composite", "imbal", "cov", "gini", "slack"},
 	}
+	type imbJob struct{ p, m, mStar int }
+	var jobs []imbJob
 	for _, p := range ImbalanceSweep {
 		mStar := machine.ImprovedCompositors(p)
 		for _, m := range []int{mStar / 2, mStar, 2 * mStar} {
 			if m < 1 || m > p {
 				continue
 			}
-			r, err := imbalanceRun(mach, scene, p, m)
-			if err != nil {
-				return nil, "", err
-			}
-			runs = append(runs, r)
-			ci := r.Analysis.PhaseInfo("composite")
-			if ci == nil {
-				return nil, "", fmt.Errorf("bench: no composite analysis at %d cores, m=%d", p, m)
-			}
-			label := fmt.Sprint(m)
-			if m == mStar {
-				label += "*"
-			}
-			ct.AddRow(fmt.Sprint(p), label, secs(r.Result.Times.Composite),
-				f3(ci.Imbalance), f3(ci.CoV), f3(ci.Gini), secs(ci.SlackSec))
+			jobs = append(jobs, imbJob{p: p, m: m, mStar: mStar})
 		}
 	}
+	compRuns := make([]ImbalanceRun, len(jobs))
+	err = par.ForErr(Workers, len(jobs), func(i int) error {
+		r, err := imbalanceRun(mach, scene, jobs[i].p, jobs[i].m)
+		compRuns[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for i, r := range compRuns {
+		j := jobs[i]
+		ci := r.Analysis.PhaseInfo("composite")
+		if ci == nil {
+			return nil, "", fmt.Errorf("bench: no composite analysis at %d cores, m=%d", j.p, j.m)
+		}
+		label := fmt.Sprint(j.m)
+		if j.m == j.mStar {
+			label += "*"
+		}
+		ct.AddRow(fmt.Sprint(j.p), label, secs(r.Result.Times.Composite),
+			f3(ci.Imbalance), f3(ci.CoV), f3(ci.Gini), secs(ci.SlackSec))
+	}
+	runs := append(renderRuns, compRuns...)
 
 	var b strings.Builder
 	b.WriteString(rt.String())

@@ -6,6 +6,7 @@ import (
 
 	"bgpvr/internal/core"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/par"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
 )
@@ -28,16 +29,21 @@ type LinkContentionRun struct {
 func LinkContention(mach machine.Machine, procs int) ([2]LinkContentionRun, string, error) {
 	scene := core.DefaultScene(1120, 1600)
 	var runs [2]LinkContentionRun
-	for i, m := range []int{procs, machine.ImprovedCompositors(procs)} {
+	ms := []int{procs, machine.ImprovedCompositors(procs)}
+	err := par.ForErr(Workers, len(ms), func(i int) error {
 		nt := &telemetry.NetTelemetry{}
 		res, err := core.RunModel(core.ModelConfig{
-			Scene: scene, Procs: procs, Compositors: m,
+			Scene: scene, Procs: procs, Compositors: ms[i],
 			Format: core.FormatGenerate, Machine: mach, Net: nt,
 		})
 		if err != nil {
-			return runs, "", err
+			return err
 		}
-		runs[i] = LinkContentionRun{Compositors: m, Result: res, Net: nt}
+		runs[i] = LinkContentionRun{Compositors: ms[i], Result: res, Net: nt}
+		return nil
+	})
+	if err != nil {
+		return runs, "", err
 	}
 
 	t := Table{

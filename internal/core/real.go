@@ -189,6 +189,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		// afterwards.
 		ioSp := tr.Begin(trace.PhaseIO, "io")
 		fields := make([]*volume.Field, len(myBlocks))
+		var myUseful int64
 		for i, b := range myBlocks {
 			own := d.BlockExtent(b)
 			readExt := d.GhostExtent(b, ghost)
@@ -213,10 +214,13 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 			} else {
 				rawfmt.DecodeInto(raw, fld.Data)
 			}
-			mu.Lock()
-			usefulBytes += int64(len(raw))
-			mu.Unlock()
+			myUseful += int64(len(raw))
 			fields[i] = fld
+		}
+		if myUseful != 0 {
+			mu.Lock()
+			usefulBytes += myUseful
+			mu.Unlock()
 		}
 		if cfg.GhostExchange {
 			var err error
@@ -236,13 +240,15 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		// Stage 2: rendering (no communication).
 		renderSp := tr.Begin(trace.PhaseRender, "render")
 		subs := make([]*render.Subimage, len(myBlocks))
+		var mySamples int64
 		for i, b := range myBlocks {
 			subs[i] = render.RenderBlockTraced(fields[i], d.BlockExtent(b), cam, tf, rcfg, tr)
-			mu.Lock()
-			res.Samples += subs[i].Samples
-			rankSamples[rank] += subs[i].Samples
-			mu.Unlock()
+			mySamples += subs[i].Samples
 		}
+		// rankSamples[rank] is rank-private, so the render loop shares
+		// nothing: the per-rank totals are folded into res.Samples after
+		// the world finishes.
+		rankSamples[rank] = mySamples
 		sub := subs[0]
 		c.Barrier()
 		renderSp.End()
@@ -302,6 +308,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 	}
 	var sum stats.Summary
 	for _, n := range rankSamples {
+		res.Samples += n
 		sum.Add(float64(n))
 	}
 	res.SampleBalance = sum.Imbalance()

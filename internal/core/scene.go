@@ -44,6 +44,11 @@ type Scene struct {
 	// AzimuthDeg rotates the view direction (and perspective eye) about
 	// the volume's vertical axis — the knob orbit animations turn.
 	AzimuthDeg float64
+	// RenderWorkers is the scanline-tile pool width each rank's
+	// ray-casting uses (0 or 1 = serial, as in render.Config.Workers);
+	// it reaches the renderers via RenderConfig. Output is bit-identical
+	// at every width.
+	RenderWorkers int
 }
 
 // DefaultScene returns the standard experiment scene: an n^3 volume of
@@ -120,7 +125,7 @@ func (s Scene) RenderConfig() render.Config {
 	if step <= 0 {
 		step = 1
 	}
-	return render.Config{Step: step, Shade: render.Shading{Enabled: s.Shaded}}
+	return render.Config{Step: step, Shade: render.Shading{Enabled: s.Shaded}, Workers: s.RenderWorkers}
 }
 
 // FrontToBack returns the block visibility order for p blocks.

@@ -1,0 +1,64 @@
+package flowsim
+
+import (
+	"testing"
+
+	"bgpvr/internal/compose"
+	"bgpvr/internal/core"
+	"bgpvr/internal/grid"
+	"bgpvr/internal/img"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/render"
+	"bgpvr/internal/torus"
+)
+
+// directSendPhase builds the torus-level message set of a direct-send
+// compositing phase at the given scale: every renderer's projected
+// rectangle is fragmented over the improved compositor count and each
+// fragment becomes one flow between the ranks' nodes under block
+// placement — the same workload the imbalance bench streams through
+// SimulateTimed.
+func directSendPhase(procs int) (torus.Topology, torus.Params, []torus.Message) {
+	mach := machine.NewBGP()
+	scene := core.DefaultScene(256, 1024)
+	d := grid.NewDecomp(scene.Dims, procs)
+	cam := scene.Camera()
+	rects := make([]img.Rect, procs)
+	for r := range rects {
+		rects[r] = render.ProjectedRect(cam, d.BlockExtent(r))
+	}
+	m := machine.ImprovedCompositors(procs)
+	msgs := compose.DirectSendSchedule(rects, scene.ImageW, scene.ImageH, m, compose.PixelBytes)
+	top := mach.TorusFor(procs)
+	nodeOf := mach.RankToNode(procs, machine.PlacementBlock)
+	nm := make([]torus.Message, len(msgs))
+	for i, mm := range msgs {
+		nm[i] = torus.Message{Src: nodeOf[mm.Src], Dst: nodeOf[mm.Dst], Bytes: mm.Bytes}
+	}
+	return top, mach.Torus, nm
+}
+
+// BenchmarkFlowsimDirectSend measures the max-min kernel on a 4K-rank
+// direct-send phase. The rescan leg is the original full-rescan
+// formulation (reference_test.go); the acceptance bar is sparse being
+// at least 5x fewer ns/op.
+func BenchmarkFlowsimDirectSend(b *testing.B) {
+	const procs = 4096
+	top, p, nm := directSendPhase(procs)
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := SimulateTimed(top, p, nm, nil, nil)
+			if r.Completions == 0 {
+				b.Fatal("no flows simulated")
+			}
+		}
+	})
+	b.Run("rescan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := simulateRescanTimed(top, p, nm, nil, nil)
+			if r.Completions == 0 {
+				b.Fatal("no flows simulated")
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"bgpvr/internal/geom"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/img"
+	"bgpvr/internal/par"
 	"bgpvr/internal/volume"
 )
 
@@ -29,7 +30,6 @@ func castSegmentMulti(fs []*volume.Field, dims grid.IVec3, own *grid.Extent,
 	var acc img.RGBA
 	var samples int64
 	vals := make([]float64, len(fs))
-	const slop = 1e-6
 	k0 := int64(math.Ceil((t0 - slop) / cfg.Step))
 	k1 := int64(math.Floor((t1 + slop) / cfg.Step))
 	for k := k0; k <= k1; k++ {
@@ -77,19 +77,67 @@ func RenderBlockMulti(fs []*volume.Field, own grid.Extent, cam Camera, cls Multi
 		return sub
 	}
 	box := ownedBounds(own)
-	i := 0
-	for y := rect.Y0; y < rect.Y1; y++ {
-		for x := rect.X0; x < rect.X1; x++ {
-			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
-			if t0, t1, ok := box.RayIntersect(ray); ok {
-				px, n := castSegmentMulti(fs, fs[0].Dims, &own, cls, cfg, ray, t0, t1)
-				sub.Pix[i] = px
-				sub.Samples += n
+	j := multiCastJob{fs: fs, dims: fs[0].Dims, own: &own, cls: cls, cfg: cfg,
+		cam: cam, box: box, rect: rect, pix: sub.Pix, stride: rect.W()}
+	sub.Samples = j.run()
+	return sub
+}
+
+// multiCastJob is castJob for the multivariate path; the same disjoint
+// tile/ordered-fold argument makes it bit-identical at any width
+// (castSegmentMulti allocates its vals scratch per ray, so rays stay
+// independent).
+type multiCastJob struct {
+	fs     []*volume.Field
+	dims   grid.IVec3
+	own    *grid.Extent
+	cls    MultiClassifier
+	cfg    Config
+	cam    Camera
+	box    geom.AABB
+	rect   img.Rect
+	pix    []img.RGBA
+	stride int
+	off    int
+}
+
+func (j *multiCastJob) castRows(y0, y1 int) int64 {
+	var samples int64
+	for y := y0; y < y1; y++ {
+		i := j.off + (y-j.rect.Y0)*j.stride
+		for x := j.rect.X0; x < j.rect.X1; x++ {
+			ray := j.cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := j.box.RayIntersect(ray); ok {
+				px, n := castSegmentMulti(j.fs, j.dims, j.own, j.cls, j.cfg, ray, t0, t1)
+				j.pix[i] = px
+				samples += n
 			}
 			i++
 		}
 	}
-	return sub
+	return samples
+}
+
+func (j *multiCastJob) run() int64 {
+	rows := j.rect.Y1 - j.rect.Y0
+	w := j.cfg.Workers
+	if w > rows {
+		w = rows
+	}
+	if w <= 1 {
+		return j.castRows(j.rect.Y0, j.rect.Y1)
+	}
+	tiles := par.Tiles(rows, tilesPerWorker*w)
+	counts := make([]int64, len(tiles))
+	par.For(w, len(tiles), func(ti int) {
+		t := tiles[ti]
+		counts[ti] = j.castRows(j.rect.Y0+t.Lo, j.rect.Y0+t.Hi)
+	})
+	var samples int64
+	for _, n := range counts {
+		samples += n
+	}
+	return samples
 }
 
 // RenderFullMulti is the serial multivariate reference renderer.
@@ -102,18 +150,9 @@ func RenderFullMulti(fs []*volume.Field, cam Camera, cls MultiClassifier, cfg Co
 	f0 := fs[0]
 	box := ownedBounds(f0.Ext)
 	box.Max = geom.V(float64(f0.Ext.Hi.X-1), float64(f0.Ext.Hi.Y-1), float64(f0.Ext.Hi.Z-1))
-	var samples int64
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
-			if t0, t1, ok := box.RayIntersect(ray); ok {
-				px, n := castSegmentMulti(fs, f0.Dims, nil, cls, cfg, ray, t0, t1)
-				out.Set(x, y, px)
-				samples += n
-			}
-		}
-	}
-	return out, samples
+	j := multiCastJob{fs: fs, dims: f0.Dims, own: nil, cls: cls, cfg: cfg,
+		cam: cam, box: box, rect: img.Rect{X0: 0, Y0: 0, X1: w, Y1: h}, pix: out.Pix, stride: w}
+	return out, j.run()
 }
 
 // ModulatedClassifier builds the common bivariate classification: color

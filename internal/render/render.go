@@ -6,9 +6,18 @@ import (
 	"bgpvr/internal/geom"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/img"
+	"bgpvr/internal/par"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/volume"
 )
+
+// slop widens sampling intervals so samples landing exactly on a block
+// boundary plane are never lost to rounding in the interval
+// computation; the half-open ownership test (and the field's own
+// bounds check) decide authoritatively which block accumulates each
+// sample. EstimateSamples applies the same widening so the estimator
+// and the actual count cannot disagree at block faces.
+const slop = 1e-6
 
 // Config controls sampling.
 type Config struct {
@@ -30,6 +39,12 @@ type Config struct {
 	SkipEmptySpace bool
 	// MacrocellSize is the macrocell edge in lattice cells (default 8).
 	MacrocellSize int
+	// Workers is the number of concurrent scanline-tile workers the
+	// renderers use; 0 or 1 casts serially on the calling goroutine.
+	// Parallel rendering is bit-identical to serial at every width:
+	// rays are independent, tiles write disjoint pixel ranges, and
+	// per-tile sample counts are folded in tile order.
+	Workers int
 	// Shade configures gradient (Lambertian) shading. All processes
 	// must use identical parameters. Shading preserves the parallel ==
 	// serial invariant *provided blocks carry two ghost layers*:
@@ -126,12 +141,8 @@ func castSegment(f *volume.Field, dims grid.IVec3, own *grid.Extent,
 
 	var acc img.RGBA
 	var samples int64
-	// Global sample grid: k*Step from the ray origin. The interval is
-	// widened by a slop so samples landing exactly on a block boundary
-	// plane are never lost to rounding in the interval computation; the
-	// half-open ownership test (and the field's own bounds check) decide
-	// authoritatively which block accumulates each sample.
-	const slop = 1e-6
+	// Global sample grid: k*Step from the ray origin, over the interval
+	// widened by the package slop.
 	k0 := int64(math.Ceil((t0 - slop) / cfg.Step))
 	k1 := int64(math.Floor((t1 + slop) / cfg.Step))
 	for k := k0; k <= k1; k++ {
@@ -189,20 +200,80 @@ func RenderBlockTraced(f *volume.Field, own grid.Extent, cam Camera, tf *volume.
 	mask := buildMask(f, tf, cfg)
 	maskSp.End()
 	sh := newShader(cfg.Shade, geom.V(float64(f.Dims.X-1), float64(f.Dims.Y-1), float64(f.Dims.Z-1)))
-	i := 0
-	for y := rect.Y0; y < rect.Y1; y++ {
-		for x := rect.X0; x < rect.X1; x++ {
-			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
-			if t0, t1, ok := box.RayIntersect(ray); ok {
-				px, n := castSegment(f, f.Dims, &own, tf, cfg, mask, sh, ray, t0, t1)
-				sub.Pix[i] = px
-				sub.Samples += n
+	j := castJob{f: f, dims: f.Dims, own: &own, tf: tf, cfg: cfg, mask: mask, sh: sh,
+		cam: cam, box: box, rect: rect, pix: sub.Pix, stride: rect.W()}
+	sub.Samples = j.run()
+	tr.Add(trace.CounterSamples, sub.Samples)
+	return sub
+}
+
+// tilesPerWorker oversubscribes the tile decomposition so the pool's
+// dynamic cursor can balance cheap silhouette rows against full-depth
+// rows; higher values balance better at the cost of more (tiny)
+// per-tile bookkeeping.
+const tilesPerWorker = 4
+
+// castJob bundles the read-only per-block state one cast needs. run
+// casts the job's rect into pix — serially, or over scanline tiles on
+// cfg.Workers goroutines. Rays are independent and every tile writes a
+// disjoint row range of pix, so the pixels are bit-identical at any
+// width; per-tile sample counts land in the tile's slot and are summed
+// in tile order (an exact integer reduction), so Samples is too.
+type castJob struct {
+	f      *volume.Field
+	dims   grid.IVec3
+	own    *grid.Extent
+	tf     *volume.Transfer
+	cfg    Config
+	mask   *OpacityMask
+	sh     *shader
+	cam    Camera
+	box    geom.AABB
+	rect   img.Rect
+	pix    []img.RGBA
+	stride int // row stride of pix
+	off    int // index of rect's (X0, Y0) pixel in pix
+}
+
+// castRows casts scanlines [y0, y1) of the job's rect (absolute image
+// coordinates) and returns the samples taken.
+func (j *castJob) castRows(y0, y1 int) int64 {
+	var samples int64
+	for y := y0; y < y1; y++ {
+		i := j.off + (y-j.rect.Y0)*j.stride
+		for x := j.rect.X0; x < j.rect.X1; x++ {
+			ray := j.cam.Ray(float64(x)+0.5, float64(y)+0.5)
+			if t0, t1, ok := j.box.RayIntersect(ray); ok {
+				px, n := castSegment(j.f, j.dims, j.own, j.tf, j.cfg, j.mask, j.sh, ray, t0, t1)
+				j.pix[i] = px
+				samples += n
 			}
 			i++
 		}
 	}
-	tr.Add(trace.CounterSamples, sub.Samples)
-	return sub
+	return samples
+}
+
+func (j *castJob) run() int64 {
+	rows := j.rect.Y1 - j.rect.Y0
+	w := j.cfg.Workers
+	if w > rows {
+		w = rows
+	}
+	if w <= 1 {
+		return j.castRows(j.rect.Y0, j.rect.Y1)
+	}
+	tiles := par.Tiles(rows, tilesPerWorker*w)
+	counts := make([]int64, len(tiles))
+	par.For(w, len(tiles), func(ti int) {
+		t := tiles[ti]
+		counts[ti] = j.castRows(j.rect.Y0+t.Lo, j.rect.Y0+t.Hi)
+	})
+	var samples int64
+	for _, n := range counts {
+		samples += n
+	}
+	return samples
 }
 
 // buildMask constructs the empty-space mask when the config asks for it.
@@ -228,18 +299,9 @@ func RenderFull(f *volume.Field, cam Camera, tf *volume.Transfer, cfg Config) (*
 	box.Max = geom.V(float64(f.Ext.Hi.X-1), float64(f.Ext.Hi.Y-1), float64(f.Ext.Hi.Z-1))
 	mask := buildMask(f, tf, cfg)
 	sh := newShader(cfg.Shade, geom.V(float64(f.Dims.X-1), float64(f.Dims.Y-1), float64(f.Dims.Z-1)))
-	var samples int64
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
-			if t0, t1, ok := box.RayIntersect(ray); ok {
-				px, n := castSegment(f, f.Dims, nil, tf, cfg, mask, sh, ray, t0, t1)
-				out.Set(x, y, px)
-				samples += n
-			}
-		}
-	}
-	return out, samples
+	j := castJob{f: f, dims: f.Dims, own: nil, tf: tf, cfg: cfg, mask: mask, sh: sh,
+		cam: cam, box: box, rect: img.Rect{X0: 0, Y0: 0, X1: w, Y1: h}, pix: out.Pix, stride: w}
+	return out, j.run()
 }
 
 // EstimateSamples returns the number of samples a block would take
@@ -260,8 +322,10 @@ func EstimateSamples(own grid.Extent, dims grid.IVec3, cam Camera, cfg Config) i
 		for x := rect.X0; x < rect.X1; x++ {
 			ray := cam.Ray(float64(x)+0.5, float64(y)+0.5)
 			if t0, t1, ok := box.RayIntersect(ray); ok {
-				k0 := int64(math.Ceil(t0 / cfg.Step))
-				k1 := int64(math.Floor(t1 / cfg.Step))
+				// Same slop-widened interval as castSegment, so the
+				// estimate cannot undercount boundary samples.
+				k0 := int64(math.Ceil((t0 - slop) / cfg.Step))
+				k1 := int64(math.Floor((t1 + slop) / cfg.Step))
 				if k1 >= k0 {
 					n += k1 - k0 + 1
 				}

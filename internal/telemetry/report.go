@@ -24,7 +24,8 @@ import (
 //	1 — phases, counters, histograms, network, runtime
 //	2 — adds the critpath and imbalance sections
 //	3 — adds the fidelity section (paper-fidelity scorecard)
-const ReportSchema = 3
+//	4 — runtime section gains workers and parallel_speedup
+const ReportSchema = 4
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -160,6 +161,13 @@ type RuntimeStat struct {
 	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
 	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
 	NumGC           uint32  `json:"num_gc"`
+	// Workers is the resolved -workers pool width the run used (0 when
+	// the run predates the flag or never touched a pool).
+	Workers int `json:"workers,omitempty"`
+	// ParallelSpeedup is the realized pool speedup: cumulative
+	// worker-busy seconds over pool-call elapsed seconds (par.Stats).
+	// ~1.0 means the run was effectively serial.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
 // NewReport starts a report with the schema version and label set.
@@ -290,6 +298,20 @@ func (r *Report) AddRuntime(wallSec float64) {
 		HeapAllocBytes:  ms.HeapAlloc,
 		TotalAllocBytes: ms.TotalAlloc,
 		NumGC:           ms.NumGC,
+	}
+}
+
+// AddParallel records the run's resolved pool width and realized
+// speedup (worker-busy time over pool elapsed time) in the runtime
+// section; call it after AddRuntime. Zero wallSec leaves the speedup
+// unset.
+func (r *Report) AddParallel(workers int, busySec, wallSec float64) {
+	if r.Runtime == nil {
+		r.Runtime = &RuntimeStat{}
+	}
+	r.Runtime.Workers = workers
+	if wallSec > 0 {
+		r.Runtime.ParallelSpeedup = busySec / wallSec
 	}
 }
 
