@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bgpvr/internal/bench"
 	"bgpvr/internal/core"
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/machine"
@@ -56,6 +57,7 @@ func main() {
 	linkmap := flag.String("linkmap", "", "write the compositing phase's per-link contention map as <prefix>.csv and <prefix>.pgm (model mode)")
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel render loops (0 = all cores)")
+	flowsimApprox := flag.Float64("flowsim-approx", -1, "cross-check the model's compositing phase with the max-min flow kernel: 0 runs it exactly, eps > 0 the bounded-error clustered approximation (< 0 skips; model mode)")
 	flag.Parse()
 
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
@@ -63,7 +65,8 @@ func main() {
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
 		traceOut: *traceOut, breakdown: *breakdown, critpath: *critOut,
 		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap,
-		runRecord: *runRecord, workers: par.Workers(*workers)}); err != nil {
+		runRecord: *runRecord, flowsimEps: *flowsimApprox,
+		workers: par.Workers(*workers)}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
 	}
@@ -115,7 +118,8 @@ type runArgs struct {
 	perfReport    string
 	linkmap       string
 	runRecord     string
-	workers       int // resolved pool width (par.Workers already applied)
+	flowsimEps    float64 // -flowsim-approx: < 0 off, 0 exact, > 0 eps
+	workers       int     // resolved pool width (par.Workers already applied)
 }
 
 // critTopK is how many straggler ranks each phase reports.
@@ -155,7 +159,7 @@ func finishTrace(a runArgs, tr *trace.Tracer) error {
 // and, when asked, the merged perf report (trace breakdown +
 // network/I/O telemetry + critpath/imbalance + runtime stats + the
 // run's configuration).
-func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *critpath.Analysis, totalSec float64, wallStart time.Time) error {
+func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *critpath.Analysis, fs *telemetry.FlowsimStat, totalSec float64, wallStart time.Time) error {
 	if err := finishTrace(a, tr); err != nil {
 		return err
 	}
@@ -185,6 +189,7 @@ func finishRun(a runArgs, tr *trace.Tracer, nt *telemetry.NetTelemetry, an *crit
 	}
 	r.AddNetTelemetry(nt)
 	r.AddCritPath(an)
+	r.Flowsim = fs
 	r.AddRuntime(time.Since(wallStart).Seconds())
 	busy, wall := par.Stats()
 	r.AddParallel(a.workers, busy.Seconds(), wall.Seconds())
@@ -237,6 +242,9 @@ func run(a runArgs) error {
 	wantNet := wantReport || a.linkmap != "" || a.debugAddr != ""
 	if a.linkmap != "" && mode != "model" {
 		return fmt.Errorf("-linkmap requires -mode model")
+	}
+	if a.flowsimEps >= 0 && mode != "model" {
+		return fmt.Errorf("-flowsim-approx requires -mode model")
 	}
 	var nt *telemetry.NetTelemetry
 	if wantNet {
@@ -295,12 +303,31 @@ func run(a runArgs) error {
 			fmt.Printf("  physical I/O: %s in %d accesses (density %.3f)\n",
 				stats.Bytes(res.IO.PhysicalBytes), res.IO.Accesses, res.IO.Density())
 		}
+		var fs *telemetry.FlowsimStat
+		if a.flowsimEps >= 0 {
+			exact := a.flowsimEps > 0 && procs <= bench.FlowScaleExactMax
+			pt, err := bench.FlowScaleAt(mach, scene, procs, m, a.flowsimEps, a.workers, exact)
+			if err != nil {
+				return err
+			}
+			fs = pt.Stat(a.flowsimEps, a.workers)
+			kernel, errKind := "exact kernel", "vs exact"
+			if a.flowsimEps > 0 {
+				kernel = fmt.Sprintf("eps=%g", a.flowsimEps)
+				if !pt.ErrExact {
+					errKind = "bound gap"
+				}
+			}
+			fmt.Printf("  flowsim:    composite %s wire-level (%s, %d msgs, err %.4f %s, wall %s)\n",
+				stats.Seconds(pt.ApproxSec), kernel, pt.Msgs, pt.ObservedErr, errKind,
+				stats.Seconds(pt.WallSec))
+		}
 		if a.linkmap != "" {
 			if err := writeLinkmap(a, mach, nt); err != nil {
 				return err
 			}
 		}
-		return finishRun(a, tr, nt, an, res.Times.Total, wallStart)
+		return finishRun(a, tr, nt, an, fs, res.Times.Total, wallStart)
 
 	case "real":
 		var rec *critpath.Recorder
@@ -355,7 +382,7 @@ func run(a runArgs) error {
 			}
 			an := analyze(nil, tr, rec)
 			critA.Store(an)
-			return finishRun(a, tr, nt, an, tot.Total, wallStart)
+			return finishRun(a, tr, nt, an, nil, tot.Total, wallStart)
 		}
 		res, err := core.RunReal(cfg)
 		if err != nil {
@@ -381,7 +408,7 @@ func run(a runArgs) error {
 		}
 		an := analyze(nil, tr, rec)
 		critA.Store(an)
-		return finishRun(a, tr, nt, an, res.Times.Total, wallStart)
+		return finishRun(a, tr, nt, an, nil, res.Times.Total, wallStart)
 	}
 	return fmt.Errorf("unknown mode %q", mode)
 }

@@ -5,13 +5,20 @@
 //
 //	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|ablations|crossmachine]
 //	experiments -exp fidelity [-scorecard card.json] [-perf-report rep.json] [-run-record runs.jsonl]
+//	experiments -exp flowscale [-procs 32768] [-flowsim-approx 0.25] [-workers 4] [-n 256] [-img 1024]
 //	experiments -breakdown [-procs 16384] [-trace frame.json]
 //
 // The output rows mirror what the paper plots; EXPERIMENTS.md records
 // the side-by-side comparison against the published numbers. -exp
 // fidelity scores the regenerated Fig 3-7 and Table II results against
 // the paper's published values and shape claims (internal/fidelity)
-// and prints the per-claim scorecard. The third form traces one
+// and prints the per-claim scorecard. -exp flowscale streams the
+// direct-send compositing exchange through the max-min contention
+// kernel at -procs scale — exactly, or with the bounded-error
+// clustered approximation when -flowsim-approx eps > 0 — after
+// re-validating the approximation against the exact kernel at small
+// core counts; the scale point's observed error lands in the perf
+// report's flowsim section. The last form traces one
 // end-to-end model frame of the paper's base configuration (1120^3
 // volume, 1600^2 image, raw format) instead: -breakdown prints the
 // Fig 5-7 per-phase table and -trace writes the virtual timeline as
@@ -88,6 +95,49 @@ func fidelityRun(mach machine.Machine, workers int, scorecardOut, perfReport, ru
 		}
 	}
 	return stat, nil
+}
+
+// flowScaleRun streams the direct-send compositing exchange through
+// the contention kernel at scale (bench.FlowScale), prints the
+// wire-level Fig-4 view, and exports the scale point's flowsim section
+// when a perf report or run record was asked for.
+func flowScaleRun(mach machine.Machine, n, imgSize, procs int, eps float64, workers int, perfReport, runRecord string) error {
+	wallStart := time.Now()
+	scene := core.DefaultScene(n, imgSize)
+	pts, text, err := bench.FlowScale(mach, scene, procs, eps, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(text)
+	if perfReport == "" && runRecord == "" {
+		return nil
+	}
+	pt := pts[len(pts)-1]
+	r := telemetry.NewReport("experiments-flowscale")
+	r.Config = map[string]string{
+		"exp":   "flowscale",
+		"n":     strconv.Itoa(n),
+		"img":   strconv.Itoa(imgSize),
+		"procs": strconv.Itoa(procs),
+		"eps":   strconv.FormatFloat(eps, 'g', -1, 64),
+	}
+	r.TotalSec = pt.ApproxSec
+	r.Flowsim = pt.Stat(eps, workers)
+	r.AddRuntime(time.Since(wallStart).Seconds())
+	busy, wall := par.Stats()
+	r.AddParallel(workers, busy.Seconds(), wall.Seconds())
+	if perfReport != "" {
+		if err := r.WriteFile(perfReport); err != nil {
+			return fmt.Errorf("writing perf report: %w", err)
+		}
+		fmt.Printf("perf report: %s\n", perfReport)
+	}
+	if runRecord != "" {
+		if err := record(runRecord, r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // tracedFrame runs one model-mode frame of the paper's base workload
@@ -173,7 +223,7 @@ func tracedFrame(n, imgSize, procs, workers int, traceOut string, breakdown bool
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap, imbalance, fidelity)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig3..fig10, table2, ablations, linkmap, imbalance, fidelity, flowscale)")
 	traceOut := flag.String("trace", "", "trace one base-config model frame to this Chrome trace_event JSON instead of running experiments")
 	breakdown := flag.Bool("breakdown", false, "print the traced frame's per-phase breakdown table instead of running experiments")
 	procs := flag.Int("procs", 16384, "cores for the traced frame (-trace/-breakdown) or -exp linkmap")
@@ -185,6 +235,7 @@ func main() {
 	scorecardOut := flag.String("scorecard", "", "write the fidelity scorecard JSON to this file (-exp fidelity)")
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	workers := flag.Int("workers", 0, "worker goroutines for the sweep and render loops (0 = all cores)")
+	flowsimApprox := flag.Float64("flowsim-approx", 0, "clustered-contention error bound eps for -exp flowscale (0 = exact kernel)")
 	flag.Parse()
 
 	w := par.Workers(*workers)
@@ -213,6 +264,12 @@ func main() {
 		stat, err := fidelityRun(mach, w, *scorecardOut, *perfReport, *runRecord)
 		fidA.Store(stat)
 		if err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *exp == "flowscale" {
+		if err := flowScaleRun(mach, *n, *imgSize, *procs, *flowsimApprox, w, *perfReport, *runRecord); err != nil {
 			fail(err)
 		}
 		return

@@ -2,16 +2,18 @@
 // (schema telemetry.ReportSchema) and flags regressions across four
 // metric classes: timing (total and per-phase mean seconds), counters
 // (messages, bytes, physical accesses, tree ops), imbalance (per-phase
-// max/mean busy-time ratios plus the critical-path duration), and
-// fidelity (the paper-fidelity aggregate score dropping or any
-// individual claim's pass/warn/fail status getting worse). CI runs it
+// max/mean busy-time ratios plus the critical-path duration), fidelity
+// (the paper-fidelity aggregate score dropping or any individual
+// claim's pass/warn/fail status getting worse), and flowsim (the
+// clustered contention approximation's observed error growing or
+// breaking its own requested eps bound). CI runs it
 // against checked-in baselines so a PR that slows a modeled frame
 // down, distributes its load worse, or drifts away from the paper's
 // published curves is visible in the job log.
 //
 // Usage:
 //
-//	perfdiff [-threshold 10] [-only timing|counters|imbalance|fidelity|all] [-warn] old.json new.json
+//	perfdiff [-threshold 10] [-only timing|counters|imbalance|fidelity|flowsim|all] [-warn] old.json new.json
 //	perfdiff [flags] reports-dir
 //
 // The one-argument form takes a directory of perf reports and diffs
@@ -87,16 +89,16 @@ func newestPair(dir string) (old, new string, err error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
-	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, fidelity, all")
+	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, fidelity, flowsim, all")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI warn-only mode)")
 	flag.Parse()
 	usage := func() {
-		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|fidelity|all] [-warn] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|fidelity|flowsim|all] [-warn] old.json new.json")
 		fmt.Fprintln(os.Stderr, "       perfdiff [flags] reports-dir   (diffs the two newest reports)")
 		os.Exit(1)
 	}
 	switch *only {
-	case "timing", "counters", "imbalance", "fidelity", "all":
+	case "timing", "counters", "imbalance", "fidelity", "flowsim", "all":
 	default:
 		usage()
 	}
@@ -144,6 +146,9 @@ func main() {
 	}
 	if *only == "all" || *only == "fidelity" {
 		deltas = append(deltas, telemetry.CompareFidelity(old, cur, th)...)
+	}
+	if *only == "all" || *only == "flowsim" {
+		deltas = append(deltas, telemetry.CompareFlowsim(old, cur, th)...)
 	}
 	regressions := 0
 	for _, d := range deltas {

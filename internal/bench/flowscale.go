@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bgpvr/internal/core"
+	"bgpvr/internal/flowsim"
+	"bgpvr/internal/machine"
+	"bgpvr/internal/stats"
+	"bgpvr/internal/telemetry"
+)
+
+// FlowScaleExactMax is the largest core count the flow-scale sweep
+// cross-checks against the exact kernel: past it the exact leg costs
+// minutes and the self-measured bound gap stands in for the true
+// error.
+var FlowScaleExactMax = 2048
+
+// flowScaleValidation are the small configs every flow-scale run
+// re-validates exactly before trusting the approximate scale point.
+var flowScaleValidation = []int{256, 512}
+
+// FlowScalePoint is one core count of the contention-kernel scale
+// sweep: the direct-send compositing exchange streamed through the
+// max-min flow kernel, approximately (eps > 0) and — at validation
+// scale — exactly.
+type FlowScalePoint struct {
+	Procs       int
+	Compositors int
+	Msgs        int
+	Bytes       int64
+	ApproxSec   float64 // phase time from the leg the sweep reports (approx when eps > 0)
+	ExactSec    float64 // exact kernel's phase time; 0 when the exact leg was skipped
+	BW          float64 // aggregate bandwidth of the reported leg, the Fig-4 metric
+	ObservedErr float64 // |approx-exact|/exact when ErrExact, else the self-measured bound gap
+	ErrExact    bool
+	Events      int64
+	WallSec     float64
+	Info        *flowsim.ApproxInfo // nil when eps <= 0
+}
+
+// Stat converts the point into the perf report's flowsim section.
+func (pt FlowScalePoint) Stat(eps float64, workers int) *telemetry.FlowsimStat {
+	st := &telemetry.FlowsimStat{
+		ApproxEps:   eps,
+		ObservedErr: pt.ObservedErr,
+		ErrExact:    pt.ErrExact,
+		ExactSec:    pt.ExactSec,
+		ApproxSec:   pt.ApproxSec,
+		Events:      pt.Events,
+		Workers:     workers,
+	}
+	if pt.Info != nil {
+		st.RegionSide = pt.Info.Side
+		st.Regions = pt.Info.Regions
+		st.ModelLinks = pt.Info.ModelLinks
+		st.PhysLinks = pt.Info.PhysLinks
+		st.LowerBoundSec = pt.Info.LowerBound
+	}
+	return st
+}
+
+// FlowScaleAt streams one direct-send compositing exchange through the
+// contention kernel. m <= 0 applies the paper's improved compositor
+// rule. eps > 0 runs the clustered approximation; exact additionally
+// runs the exact kernel and scores the true relative error (otherwise
+// ObservedErr is the approximation's self-measured bound gap, which
+// bounds the truth from above).
+func FlowScaleAt(mach machine.Machine, scene core.Scene, procs, m int, eps float64, workers int, exact bool) (FlowScalePoint, error) {
+	top, p, nm := core.CompositePhaseMessages(mach, scene, procs, m, 0)
+	if m <= 0 {
+		m = machine.ImprovedCompositors(procs)
+	}
+	// Intra-node fragments never touch the torus and the kernel routes
+	// only cross-node flows, so drop self-messages from the streamed
+	// set (and from the bandwidth the table reports).
+	keep := nm[:0]
+	for _, mm := range nm {
+		if mm.Src != mm.Dst {
+			keep = append(keep, mm)
+		}
+	}
+	nm = keep
+	pt := FlowScalePoint{Procs: procs, Compositors: m, Msgs: len(nm)}
+	for _, m := range nm {
+		pt.Bytes += m.Bytes
+	}
+	t0 := time.Now()
+	res, info := flowsim.SimulateOpt(top, p, nm, flowsim.Options{ApproxEps: eps, Workers: workers})
+	pt.WallSec = time.Since(t0).Seconds()
+	if res.Completions != len(nm) {
+		return pt, fmt.Errorf("bench: flowsim completed %d of %d flows at %d cores", res.Completions, len(nm), procs)
+	}
+	pt.ApproxSec, pt.Events, pt.Info = res.Time, int64(res.Events), info
+	if info != nil {
+		pt.ObservedErr = info.BoundGap
+	}
+	if exact && eps > 0 {
+		ex := flowsim.SimulateTimed(top, p, nm, nil, nil)
+		pt.ExactSec = ex.Time
+		if ex.Time > 0 {
+			pt.ObservedErr = math.Abs(res.Time-ex.Time) / ex.Time
+			pt.ErrExact = true
+		}
+	} else if eps <= 0 {
+		pt.ExactSec = res.Time
+	}
+	if pt.ApproxSec > 0 {
+		pt.BW = float64(pt.Bytes) / pt.ApproxSec
+	}
+	return pt, nil
+}
+
+// FlowScale is the contention-kernel scale experiment: the validation
+// core counts re-check the approximation against the exact kernel,
+// then the scale point runs at procs — approximately when eps > 0
+// (with an exact cross-check only up to FlowScaleExactMax), exactly
+// otherwise. The table is the wire-level Fig-4 view: the direct-send
+// exchange's effective aggregate bandwidth at each scale, with the
+// approximation's observed error alongside. The returned points end
+// with the scale point.
+func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, workers int) ([]FlowScalePoint, string, error) {
+	var counts []int
+	for _, p := range flowScaleValidation {
+		if p < procs {
+			counts = append(counts, p)
+		}
+	}
+	counts = append(counts, procs)
+	pts := make([]FlowScalePoint, len(counts))
+	for i, p := range counts {
+		exact := p <= FlowScaleExactMax
+		pt, err := FlowScaleAt(mach, scene, p, 0, eps, workers, exact)
+		if err != nil {
+			return nil, "", err
+		}
+		if eps > 0 && pt.ErrExact && pt.ObservedErr > eps {
+			return nil, "", fmt.Errorf("bench: approx error %.4f exceeds eps %g at %d cores", pt.ObservedErr, eps, p)
+		}
+		pts[i] = pt
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Flow-level compositing scale (direct-send, %d^2 image, eps=%g, %d workers)",
+			scene.ImageW, eps, workers),
+		Columns: []string{"cores", "m", "msgs", "phase", "agg BW", "err", "err kind", "events", "wall"},
+	}
+	for _, pt := range pts {
+		errKind := "bound gap"
+		if pt.ErrExact {
+			errKind = "vs exact"
+		}
+		if pt.Info == nil {
+			errKind = "exact"
+		}
+		t.AddRow(fmt.Sprint(pt.Procs), fmt.Sprint(pt.Compositors), fmt.Sprint(pt.Msgs),
+			secs(pt.ApproxSec), stats.Rate(pt.BW), fmt.Sprintf("%.4f", pt.ObservedErr), errKind,
+			fmt.Sprint(pt.Events), secs(pt.WallSec))
+	}
+	return pts, t.String(), nil
+}

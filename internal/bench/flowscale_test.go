@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bgpvr/internal/core"
+	"bgpvr/internal/machine"
+)
+
+// TestFlowScaleSmall runs the contention-kernel scale sweep at a CI
+// scale: the validation counts must cross-check exactly, the scale
+// point must finish all flows, and the approximation's observed error
+// must sit inside eps.
+func TestFlowScaleSmall(t *testing.T) {
+	mach := machine.NewBGP()
+	scene := core.DefaultScene(64, 256)
+	const eps = 0.25
+	pts, table, err := FlowScale(mach, scene, 1024, eps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("want validation points 256, 512 plus the 1024 scale point, got %d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Msgs == 0 || pt.ApproxSec <= 0 || pt.BW <= 0 {
+			t.Errorf("degenerate point at %d cores: %+v", pt.Procs, pt)
+		}
+		if !pt.ErrExact {
+			t.Errorf("%d cores is below FlowScaleExactMax but was not exact-checked", pt.Procs)
+		}
+		if pt.ObservedErr > eps {
+			t.Errorf("observed error %.4f exceeds eps %g at %d cores", pt.ObservedErr, eps, pt.Procs)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Procs != 1024 {
+		t.Fatalf("scale point is %d cores, want 1024", last.Procs)
+	}
+	st := last.Stat(eps, 2)
+	if st.ApproxEps != eps || st.Workers != 2 || st.Events != last.Events {
+		t.Errorf("Stat round-trip mismatch: %+v vs point %+v", st, last)
+	}
+	if st.RegionSide == 0 || st.LowerBoundSec <= 0 {
+		t.Errorf("Stat missing approximation info: %+v", st)
+	}
+	for _, col := range []string{"cores", "agg BW", "err kind", "1024"} {
+		if !strings.Contains(table, col) {
+			t.Errorf("table missing %q:\n%s", col, table)
+		}
+	}
+}
+
+// TestFlowScaleExact pins the eps=0 path: the sweep runs the exact
+// kernel only and reports zero error.
+func TestFlowScaleExact(t *testing.T) {
+	pt, err := FlowScaleAt(machine.NewBGP(), core.DefaultScene(64, 256), 512, 0, 0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Info != nil {
+		t.Errorf("exact run carries approximation info: %+v", pt.Info)
+	}
+	if pt.ObservedErr != 0 || pt.ExactSec != pt.ApproxSec {
+		t.Errorf("exact run reports error: %+v", pt)
+	}
+}

@@ -4,17 +4,12 @@ import (
 	"fmt"
 	"strings"
 
-	"bgpvr/internal/compose"
 	"bgpvr/internal/core"
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/flowsim"
-	"bgpvr/internal/grid"
-	"bgpvr/internal/img"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/par"
-	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
-	"bgpvr/internal/torus"
 )
 
 // ImbalanceSweep is the modeled core-count axis of the load-imbalance
@@ -145,24 +140,12 @@ func Imbalance(mach machine.Machine) ([]ImbalanceRun, string, error) {
 // spread of last arrivals is the wire-level view of the compositing
 // stragglers the critical-path analysis reports.
 func arrivalSkew(mach machine.Machine, scene core.Scene, procs int) (string, error) {
-	d := grid.NewDecomp(scene.Dims, procs)
-	cam := scene.Camera()
-	rects := make([]img.Rect, procs)
-	for r := range rects {
-		rects[r] = render.ProjectedRect(cam, d.BlockExtent(r))
-	}
 	m := machine.ImprovedCompositors(procs)
-	msgs := compose.DirectSendSchedule(rects, scene.ImageW, scene.ImageH, m, 16)
-	top := mach.TorusFor(procs)
-	nodeOf := mach.RankToNode(procs, machine.PlacementBlock)
-	nm := make([]torus.Message, len(msgs))
-	for i, mm := range msgs {
-		nm[i] = torus.Message{Src: nodeOf[mm.Src], Dst: nodeOf[mm.Dst], Bytes: mm.Bytes}
-	}
+	top, p, nm := core.CompositePhaseMessages(mach, scene, procs, m, 16)
 	var ft flowsim.FlowTimes
-	res := flowsim.SimulateTimed(top, mach.Torus, nm, nil, &ft)
+	res := flowsim.SimulateTimed(top, p, nm, nil, &ft)
 	lastArrival := map[int]float64{}
-	for i, mm := range msgs {
+	for i, mm := range nm {
 		if ft.Done[i] > lastArrival[mm.Dst] {
 			lastArrival[mm.Dst] = ft.Done[i]
 		}

@@ -66,7 +66,7 @@ func (p Path) DominantPhase() trace.Phase {
 // first activity and stops. The empty graph yields a zero Path.
 func (g *Graph) CriticalPath() Path {
 	var p Path
-	if g == nil {
+	if g == nil || g.lite {
 		return p
 	}
 	g.prepare()
@@ -75,11 +75,11 @@ func (g *Graph) CriticalPath() Path {
 	}
 	rank, t := g.endRank, g.end
 	p.End = g.end
-	used := make([]bool, len(g.deps))
+	used := make([]bool, len(g.dSrcT))
 	var rev []Segment // built backward in time
 	// Every iteration either consumes at least one dep edge (marks it
 	// used) or ends the walk, so the loop is bounded.
-	for iter := 0; iter <= len(g.deps)+1; iter++ {
+	for iter := 0; iter <= len(g.dSrcT)+1; iter++ {
 		di := g.blockingDep(rank, t, used)
 		if di < 0 {
 			start := g.firstStart(rank, t)
@@ -90,7 +90,7 @@ func (g *Graph) CriticalPath() Path {
 			p.Start = start
 			break
 		}
-		d := g.deps[di]
+		d := g.dep(int32(di))
 		used[di] = true
 		cut := d.DstT
 		if cut > t {
@@ -139,23 +139,22 @@ func (g *Graph) CriticalPath() Path {
 // edges, and displaced ties are marked used so the scans stay linear
 // over the whole walk.
 func (g *Graph) blockingDep(rank int, t float64, used []bool) int {
-	in := g.depsIn[rank]
-	pos := sort.Search(len(in), func(i int) bool { return g.deps[in[i]].DstT > t+eps })
+	in := g.diIdx[g.diOff[rank]:g.diOff[rank+1]]
+	pos := sort.Search(len(in), func(i int) bool { return g.dDstT[in[i]] > t+eps })
 	best := -1
 	for j := pos - 1; j >= 0; j-- {
-		di := in[j]
+		di := int(in[j])
 		if used[di] {
 			continue
 		}
-		d := g.deps[di]
-		if best >= 0 && d.DstT < g.deps[best].DstT-eps {
+		if best >= 0 && g.dDstT[di] < g.dDstT[best]-eps {
 			break // left the latest-DstT tier
 		}
-		if d.Src == rank {
+		if int(g.dSrc[di]) == rank {
 			used[di] = true
 			continue
 		}
-		if d.SrcT < g.waitStart(rank, d.DstT)-eps {
+		if g.dSrcT[di] < g.waitStart(rank, g.dDstT[di])-eps {
 			// The receiver was still busy when the sender arrived:
 			// the edge did not block, so it cannot carry the path.
 			used[di] = true
@@ -164,7 +163,7 @@ func (g *Graph) blockingDep(rank int, t float64, used []bool) int {
 		switch {
 		case best < 0:
 			best = di
-		case d.SrcT > g.deps[best].SrcT:
+		case g.dSrcT[di] > g.dSrcT[best]:
 			used[best] = true
 			best = di
 		default:
@@ -179,28 +178,30 @@ func (g *Graph) blockingDep(rank int, t float64, used []bool) int {
 // was idle at t — the end of its previous activity (0 with none).
 func (g *Graph) waitStart(rank int, t float64) float64 {
 	if ni := g.covering(rank, t); ni >= 0 {
-		return g.nodes[ni].Start
+		return g.nStart[ni]
 	}
-	idx := g.perRank[rank]
-	pos := sort.Search(len(idx), func(i int) bool { return g.nodes[idx[i]].Start >= t })
+	off := int(g.prOff[rank])
+	idx := g.prIdx[off:g.prOff[rank+1]]
+	pos := sort.Search(len(idx), func(i int) bool { return g.nStart[idx[i]] >= t })
 	if pos == 0 {
 		return 0
 	}
-	return g.maxEnd[rank][pos-1]
+	return g.meVals[off+pos-1]
 }
 
 // covering returns the innermost node on rank covering time t (Start
 // strictly before t, End at or after t within eps), or -1. The
 // backward scan is pruned by the prefix-max of node ends.
 func (g *Graph) covering(rank int, t float64) int {
-	idx := g.perRank[rank]
-	pos := sort.Search(len(idx), func(i int) bool { return g.nodes[idx[i]].Start >= t })
+	off := int(g.prOff[rank])
+	idx := g.prIdx[off:g.prOff[rank+1]]
+	pos := sort.Search(len(idx), func(i int) bool { return g.nStart[idx[i]] >= t })
 	for j := pos - 1; j >= 0; j-- {
-		if g.maxEnd[rank][j] < t-eps {
+		if g.meVals[off+j] < t-eps {
 			break // nothing earlier reaches t
 		}
-		if g.nodes[idx[j]].End >= t-eps {
-			return idx[j]
+		if g.nEnd[idx[j]] >= t-eps {
+			return int(idx[j])
 		}
 	}
 	return -1
@@ -209,11 +210,11 @@ func (g *Graph) covering(rank int, t float64) int {
 // firstStart returns the start of rank's first activity, or fallback
 // when the rank recorded none.
 func (g *Graph) firstStart(rank int, fallback float64) float64 {
-	idx := g.perRank[rank]
+	idx := g.prIdx[g.prOff[rank]:g.prOff[rank+1]]
 	if len(idx) == 0 {
 		return fallback
 	}
-	return g.nodes[idx[0]].Start
+	return g.nStart[idx[0]]
 }
 
 // attribute splits [a, b] on rank into segments by the innermost
@@ -221,26 +222,27 @@ func (g *Graph) firstStart(rank int, fallback float64) float64 {
 // accumulating the path's phase totals.
 func (g *Graph) attribute(out *[]Segment, p *Path, rank int, a, b float64) {
 	t := b
-	guard := 2*len(g.perRank[rank]) + 4
+	off := int(g.prOff[rank])
+	idx := g.prIdx[off:g.prOff[rank+1]]
+	guard := 2*len(idx) + 4
 	for t > a+eps && guard > 0 {
 		guard--
 		if ni := g.covering(rank, t); ni >= 0 {
-			n := g.nodes[ni]
-			lo := n.Start
+			ph := trace.Phase(g.nPhase[ni])
+			lo := g.nStart[ni]
 			if lo < a {
 				lo = a
 			}
-			*out = append(*out, Segment{Rank: rank, Phase: n.Phase, Name: n.Name, Start: lo, End: t})
-			p.PhaseSec[n.Phase] += t - lo
+			*out = append(*out, Segment{Rank: rank, Phase: ph, Name: g.names[g.nName[ni]], Start: lo, End: t})
+			p.PhaseSec[ph] += t - lo
 			t = lo
 			continue
 		}
 		// Idle gap: back to the end of the last activity before t.
 		lo := a
-		idx := g.perRank[rank]
-		pos := sort.Search(len(idx), func(i int) bool { return g.nodes[idx[i]].Start >= t })
-		if pos > 0 && g.maxEnd[rank][pos-1] > lo {
-			lo = g.maxEnd[rank][pos-1]
+		pos := sort.Search(len(idx), func(i int) bool { return g.nStart[idx[i]] >= t })
+		if pos > 0 && g.meVals[off+pos-1] > lo {
+			lo = g.meVals[off+pos-1]
 		}
 		*out = append(*out, Segment{Rank: rank, Phase: trace.PhaseOther, Name: "idle", Start: lo, End: t})
 		p.PhaseSec[trace.PhaseOther] += t - lo
@@ -250,7 +252,9 @@ func (g *Graph) attribute(out *[]Segment, p *Path, rank int, a, b float64) {
 }
 
 // BusyByPhase returns, for each phase, the per-rank busy seconds (the
-// sum of non-nested span durations).
+// sum of non-nested span durations). Lite graphs return a copy of the
+// streaming aggregates; both modes fold spans in insertion order, so
+// the sums are bit-identical between them.
 func (g *Graph) BusyByPhase() [trace.NumPhases][]float64 {
 	var out [trace.NumPhases][]float64
 	if g == nil {
@@ -259,11 +263,17 @@ func (g *Graph) BusyByPhase() [trace.NumPhases][]float64 {
 	for ph := range out {
 		out[ph] = make([]float64, g.ranks)
 	}
-	for _, n := range g.nodes {
-		if n.Nested {
+	if g.lite {
+		for ph := range out {
+			copy(out[ph], g.liteBusy[ph])
+		}
+		return out
+	}
+	for i := range g.nStart {
+		if g.nNested[i] {
 			continue
 		}
-		out[n.Phase][n.Rank] += n.End - n.Start
+		out[g.nPhase[i]][g.nRank[i]] += g.nEnd[i] - g.nStart[i]
 	}
 	return out
 }
@@ -334,38 +344,51 @@ var stagePhases = []trace.Phase{trace.PhaseIO, trace.PhaseRender, trace.PhaseCom
 // Analyze extracts the critical path and the per-phase imbalance
 // metrics from the graph, keeping the topK most-loaded ranks of each
 // phase as stragglers. A nil or empty graph yields a zero Analysis.
+// Lite graphs skip the path walk (no per-node storage to walk) but
+// produce the same imbalance, straggler, and what-if sections as the
+// full graph, bit-for-bit.
 func Analyze(g *Graph, topK int) *Analysis {
 	a := &Analysis{
 		Ranks:        g.Ranks(),
-		Deps:         len(g.Deps()),
+		Deps:         g.NumDeps(),
 		PathPhaseSec: map[string]float64{},
 	}
-	if g == nil || len(g.Nodes()) == 0 {
+	if g == nil || (g.lite && g.endRank < 0) || (!g.lite && g.NumNodes() == 0) {
 		return a
 	}
 	if a.Deps > 0 {
 		a.DepsByKind = map[string]int{}
-		for _, d := range g.Deps() {
-			a.DepsByKind[d.Kind.String()]++
+		if g.lite {
+			for k, c := range g.liteDeps {
+				if c > 0 {
+					a.DepsByKind[DepKind(k).String()] = c
+				}
+			}
+		} else {
+			for _, k := range g.dKind {
+				a.DepsByKind[DepKind(k).String()]++
+			}
 		}
 	}
 
-	p := g.CriticalPath()
 	a.TotalSec = g.End()
-	a.PathSec = p.Total()
-	a.IdleSec = p.IdleSec
-	a.Hops = p.Hops
-	a.Dominant = p.DominantPhase().String()
-	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
-		if p.PhaseSec[ph] > 0 {
-			a.PathPhaseSec[ph.String()] = p.PhaseSec[ph]
+	if !g.lite {
+		p := g.CriticalPath()
+		a.PathSec = p.Total()
+		a.IdleSec = p.IdleSec
+		a.Hops = p.Hops
+		a.Dominant = p.DominantPhase().String()
+		for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
+			if p.PhaseSec[ph] > 0 {
+				a.PathPhaseSec[ph.String()] = p.PhaseSec[ph]
+			}
 		}
-	}
-	for _, s := range p.Segments {
-		a.Path = append(a.Path, PathSegment{
-			Rank: s.Rank, Phase: s.Phase.String(), Name: s.Name,
-			StartSec: s.Start, DurSec: s.Dur(),
-		})
+		for _, s := range p.Segments {
+			a.Path = append(a.Path, PathSegment{
+				Rank: s.Rank, Phase: s.Phase.String(), Name: s.Name,
+				StartSec: s.Start, DurSec: s.Dur(),
+			})
+		}
 	}
 
 	busy := g.BusyByPhase()

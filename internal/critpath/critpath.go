@@ -166,16 +166,49 @@ func (n Node) Dur() float64 { return n.End - n.Start }
 // activity nodes plus the dependency edges between ranks. The nil
 // *Graph is a valid no-op sink, so model-mode graph population costs
 // nothing when no graph is attached.
+//
+// Storage is column-oriented with interned span names: a node costs
+// ~24 bytes and an edge ~33 instead of the ~48 each of the
+// struct-of-everything layout, and the prepared per-rank indices are
+// flat int32 CSR arrays instead of per-rank slices. At 100K+ ranks a
+// model-mode frame graph holds tens of millions of fragment edges, so
+// halving the footprint is what keeps -critpath usable there; the
+// aggregate-only variant (NewGraphLite) drops per-node storage
+// entirely for runs past what even the compact graph should hold.
 type Graph struct {
 	ranks int
-	nodes []Node
-	deps  []Dep
+
+	// Node columns; names are interned into names/nameID.
+	nRank   []int32
+	nPhase  []uint8
+	nName   []uint16
+	nStart  []float64
+	nEnd    []float64
+	nNested []bool
+	names   []string
+	nameID  map[string]uint16
+
+	// Dep columns.
+	dKind  []uint8
+	dSrc   []int32
+	dDst   []int32
+	dSrcT  []float64
+	dDstT  []float64
+	dBytes []int64
+
+	// Lite (aggregate-only) mode: spans fold straight into per-rank
+	// busy sums and edges into per-kind counts; no columns are kept.
+	lite     bool
+	liteBusy [trace.NumPhases][]float64
+	liteDeps [NumDepKinds]int
 
 	// Built lazily by prepare():
 	prepared bool
-	perRank  [][]int     // node indices per rank, ordered by start
-	maxEnd   [][]float64 // prefix max of node ends along perRank
-	depsIn   [][]int     // dep indices per dst rank, ordered by DstT
+	prIdx    []int32   // node indices grouped by rank, ordered by start
+	prOff    []int32   // rank r's indices are prIdx[prOff[r]:prOff[r+1]]
+	meVals   []float64 // prefix max of node ends aligned with prIdx
+	diIdx    []int32   // dep indices grouped by dst rank, ordered by DstT
+	diOff    []int32
 	end      float64
 	endRank  int
 }
@@ -188,6 +221,84 @@ func NewGraph(ranks int) *Graph {
 	return &Graph{ranks: ranks, endRank: -1}
 }
 
+// NewGraphLite creates an aggregate-only graph: AddNode folds spans
+// into per-rank busy time and the frame end, AddDep counts edges by
+// kind, and nothing per-node is retained. Analyze still produces the
+// imbalance, straggler, and what-if sections (bit-identical to the
+// full graph's, the same sums in the same order) but no critical path
+// — the streaming trade that keeps -critpath alive at 100K+ ranks.
+func NewGraphLite(ranks int) *Graph {
+	g := NewGraph(ranks)
+	g.lite = true
+	for ph := range g.liteBusy {
+		g.liteBusy[ph] = make([]float64, g.ranks)
+	}
+	return g
+}
+
+// Lite reports whether the graph is aggregate-only (false on nil).
+func (g *Graph) Lite() bool { return g != nil && g.lite }
+
+// NumNodes returns the stored node count (0 on nil or lite graphs).
+func (g *Graph) NumNodes() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.nStart)
+}
+
+// NumDeps returns the dependency edge count (lite graphs report the
+// counted total).
+func (g *Graph) NumDeps() int {
+	if g == nil {
+		return 0
+	}
+	if g.lite {
+		n := 0
+		for _, c := range g.liteDeps {
+			n += c
+		}
+		return n
+	}
+	return len(g.dSrcT)
+}
+
+// node materializes node i from the columns.
+func (g *Graph) node(i int32) Node {
+	return Node{
+		Rank: int(g.nRank[i]), Phase: trace.Phase(g.nPhase[i]), Name: g.names[g.nName[i]],
+		Start: g.nStart[i], End: g.nEnd[i], Nested: g.nNested[i],
+	}
+}
+
+// dep materializes edge i from the columns.
+func (g *Graph) dep(i int32) Dep {
+	return Dep{
+		Kind: DepKind(g.dKind[i]), Src: int(g.dSrc[i]), Dst: int(g.dDst[i]),
+		SrcT: g.dSrcT[i], DstT: g.dDstT[i], Bytes: g.dBytes[i],
+	}
+}
+
+// intern returns the id of name, registering it on first use. The id
+// space is 16-bit; a graph with more distinct names than that folds
+// the overflow onto one catch-all id (span names are a small fixed
+// vocabulary in both pipelines, so this is a guard, not a path).
+func (g *Graph) intern(name string) uint16 {
+	if g.nameID == nil {
+		g.nameID = make(map[string]uint16, 16)
+	}
+	if id, ok := g.nameID[name]; ok {
+		return id
+	}
+	if len(g.names) >= 1<<16 {
+		return g.nameID["…"]
+	}
+	id := uint16(len(g.names))
+	g.names = append(g.names, name)
+	g.nameID[name] = id
+	return id
+}
+
 // Ranks returns the rank count (0 on nil).
 func (g *Graph) Ranks() int {
 	if g == nil {
@@ -196,14 +307,37 @@ func (g *Graph) Ranks() int {
 	return g.ranks
 }
 
+// addSpan is the single append point for both modes. Lite graphs fold
+// the span straight into the per-rank busy sums (skipping nested spans
+// exactly as BusyByPhase does) and track the frame end incrementally
+// in insertion order, so the aggregates match the full graph's
+// bit-for-bit.
+func (g *Graph) addSpan(rank int32, phase trace.Phase, name string, start, end float64, nested bool) {
+	if g.lite {
+		if !nested && int(phase) < len(g.liteBusy) {
+			g.liteBusy[phase][rank] += end - start
+		}
+		if end > g.end || g.endRank < 0 {
+			g.end, g.endRank = end, int(rank)
+		}
+		return
+	}
+	g.nRank = append(g.nRank, rank)
+	g.nPhase = append(g.nPhase, uint8(phase))
+	g.nName = append(g.nName, g.intern(name))
+	g.nStart = append(g.nStart, start)
+	g.nEnd = append(g.nEnd, end)
+	g.nNested = append(g.nNested, nested)
+	g.prepared = false
+}
+
 // AddNode appends one activity interval. No-op on the nil receiver or
 // for out-of-range ranks and non-positive durations.
 func (g *Graph) AddNode(rank int, phase trace.Phase, name string, start, dur float64) {
 	if g == nil || rank < 0 || rank >= g.ranks || dur <= 0 {
 		return
 	}
-	g.nodes = append(g.nodes, Node{Rank: rank, Phase: phase, Name: name, Start: start, End: start + dur})
-	g.prepared = false
+	g.addSpan(int32(rank), phase, name, start, start+dur, false)
 }
 
 // AddNodeEnd is AddNode with an explicit end time, for callers that
@@ -214,8 +348,7 @@ func (g *Graph) AddNodeEnd(rank int, phase trace.Phase, name string, start, end 
 	if g == nil || rank < 0 || rank >= g.ranks || end <= start {
 		return
 	}
-	g.nodes = append(g.nodes, Node{Rank: rank, Phase: phase, Name: name, Start: start, End: end})
-	g.prepared = false
+	g.addSpan(int32(rank), phase, name, start, end, false)
 }
 
 // AddDep appends one dependency edge. No-op on nil or for edges with
@@ -224,26 +357,48 @@ func (g *Graph) AddDep(d Dep) {
 	if g == nil || d.Src < 0 || d.Src >= g.ranks || d.Dst < 0 || d.Dst >= g.ranks {
 		return
 	}
-	g.deps = append(g.deps, d)
+	if g.lite {
+		if d.Kind < NumDepKinds {
+			g.liteDeps[d.Kind]++
+		}
+		return
+	}
+	g.dKind = append(g.dKind, uint8(d.Kind))
+	g.dSrc = append(g.dSrc, int32(d.Src))
+	g.dDst = append(g.dDst, int32(d.Dst))
+	g.dSrcT = append(g.dSrcT, d.SrcT)
+	g.dDstT = append(g.dDstT, d.DstT)
+	g.dBytes = append(g.dBytes, d.Bytes)
 	g.prepared = false
 }
 
-// Nodes returns the graph's activity nodes (shared slice; do not
-// modify).
+// Nodes materializes the graph's activity nodes from the columns (nil
+// on the nil receiver or an empty graph). It is a freshly allocated
+// copy per call — a diagnostics/test surface, not an iteration path;
+// analyses walk the columns directly.
 func (g *Graph) Nodes() []Node {
-	if g == nil {
+	if g == nil || len(g.nStart) == 0 {
 		return nil
 	}
-	return g.nodes
+	out := make([]Node, len(g.nStart))
+	for i := range out {
+		out[i] = g.node(int32(i))
+	}
+	return out
 }
 
-// Deps returns the graph's dependency edges (shared slice; do not
-// modify).
+// Deps materializes the graph's dependency edges (nil on the nil
+// receiver or an empty graph). Same contract as Nodes: a copy per
+// call.
 func (g *Graph) Deps() []Dep {
-	if g == nil {
+	if g == nil || len(g.dSrcT) == 0 {
 		return nil
 	}
-	return g.deps
+	out := make([]Dep, len(g.dSrcT))
+	for i := range out {
+		out[i] = g.dep(int32(i))
+	}
+	return out
 }
 
 // End returns the frame's end time: the maximum node end (0 when
@@ -266,57 +421,86 @@ func FromTrace(tr *trace.Tracer, rec *Recorder) *Graph {
 		if e.Rank < 0 || e.Rank >= g.ranks || e.Dur <= 0 {
 			continue
 		}
-		g.nodes = append(g.nodes, Node{
-			Rank: e.Rank, Phase: e.Phase, Name: e.Name,
-			Start: e.Start, End: e.Start + e.Dur, Nested: e.Nested,
-		})
+		g.addSpan(int32(e.Rank), e.Phase, e.Name, e.Start, e.Start+e.Dur, e.Nested)
 	}
-	g.prepared = false
 	for _, d := range rec.Deps() {
 		g.AddDep(d)
 	}
 	return g
 }
 
-// prepare builds the per-rank indices the analyses walk.
+// prepare builds the flat per-rank indices the analyses walk: a CSR
+// grouping of node indices by rank (start-ordered within each rank,
+// with an aligned prefix-max-of-ends array) and of dep indices by dst
+// rank (DstT-ordered). Counting sort for the grouping keeps insertion
+// order within a rank, so the stable time sorts break ties exactly as
+// the per-rank append slices used to.
 func (g *Graph) prepare() {
 	if g == nil || g.prepared {
 		return
 	}
-	g.perRank = make([][]int, g.ranks)
-	g.depsIn = make([][]int, g.ranks)
+	if g.lite {
+		// Lite graphs track end/endRank incrementally and index nothing.
+		g.prepared = true
+		return
+	}
+	n := len(g.nStart)
 	g.end, g.endRank = 0, -1
-	for i, n := range g.nodes {
-		g.perRank[n.Rank] = append(g.perRank[n.Rank], i)
-		if n.End > g.end || g.endRank < 0 {
-			g.end, g.endRank = n.End, n.Rank
+	for i := 0; i < n; i++ {
+		if g.nEnd[i] > g.end || g.endRank < 0 {
+			g.end, g.endRank = g.nEnd[i], int(g.nRank[i])
 		}
 	}
-	g.maxEnd = make([][]float64, g.ranks)
-	for r := range g.perRank {
-		idx := g.perRank[r]
-		sortByKey(idx, func(i int) float64 { return g.nodes[i].Start })
-		me := make([]float64, len(idx))
+	g.prOff = make([]int32, g.ranks+1)
+	for _, r := range g.nRank {
+		g.prOff[r+1]++
+	}
+	for r := 0; r < g.ranks; r++ {
+		g.prOff[r+1] += g.prOff[r]
+	}
+	g.prIdx = make([]int32, n)
+	pos := make([]int32, g.ranks)
+	copy(pos, g.prOff[:g.ranks])
+	for i := 0; i < n; i++ {
+		r := g.nRank[i]
+		g.prIdx[pos[r]] = int32(i)
+		pos[r]++
+	}
+	g.meVals = make([]float64, n)
+	for r := 0; r < g.ranks; r++ {
+		idx := g.prIdx[g.prOff[r]:g.prOff[r+1]]
+		sortByKey(idx, func(i int32) float64 { return g.nStart[i] })
+		me := g.meVals[g.prOff[r]:g.prOff[r+1]]
 		for j, ni := range idx {
-			me[j] = g.nodes[ni].End
+			me[j] = g.nEnd[ni]
 			if j > 0 && me[j-1] > me[j] {
 				me[j] = me[j-1]
 			}
 		}
-		g.maxEnd[r] = me
 	}
-	for i, d := range g.deps {
-		g.depsIn[d.Dst] = append(g.depsIn[d.Dst], i)
+	m := len(g.dSrcT)
+	g.diOff = make([]int32, g.ranks+1)
+	for _, d := range g.dDst {
+		g.diOff[d+1]++
 	}
-	for r := range g.depsIn {
-		idx := g.depsIn[r]
-		sortByKey(idx, func(i int) float64 { return g.deps[i].DstT })
+	for r := 0; r < g.ranks; r++ {
+		g.diOff[r+1] += g.diOff[r]
+	}
+	g.diIdx = make([]int32, m)
+	copy(pos, g.diOff[:g.ranks])
+	for i := 0; i < m; i++ {
+		d := g.dDst[i]
+		g.diIdx[pos[d]] = int32(i)
+		pos[d]++
+	}
+	for r := 0; r < g.ranks; r++ {
+		sortByKey(g.diIdx[g.diOff[r]:g.diOff[r+1]], func(i int32) float64 { return g.dDstT[i] })
 	}
 	g.prepared = true
 }
 
 // sortByKey sorts idx ascending by key, stably, so same-timestamp
 // entries keep their recording order.
-func sortByKey(idx []int, key func(int) float64) {
+func sortByKey(idx []int32, key func(int32) float64) {
 	sort.SliceStable(idx, func(a, b int) bool { return key(idx[a]) < key(idx[b]) })
 }

@@ -69,8 +69,7 @@ func TestCriticalPathDiamond(t *testing.T) {
 func TestNonBlockingEdgeIgnored(t *testing.T) {
 	g := NewGraph(2)
 	g.AddNode(0, trace.PhaseRender, "work", 0, 5)
-	n := Node{Rank: 0, Phase: trace.PhaseComm, Name: "recv", Start: 3.9, End: 4, Nested: false}
-	g.nodes = append(g.nodes, n) // recv wait nested in time inside work
+	g.addSpan(0, trace.PhaseComm, "recv", 3.9, 4, false) // recv wait nested in time inside work
 	g.AddNode(1, trace.PhaseRender, "work", 0, 1)
 	g.AddDep(Dep{Kind: DepMessage, Src: 1, Dst: 0, SrcT: 1, DstT: 4})
 	p := g.CriticalPath()
@@ -233,5 +232,131 @@ func TestDepKindString(t *testing.T) {
 		if k.String() != s {
 			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
 		}
+	}
+}
+
+// populate streams the same frame into any graph: varied per-rank
+// loads, nested comm waits, and a mix of dep kinds. Used to compare
+// full and lite graphs built from an identical insertion order.
+func populate(g *Graph, ranks int) {
+	for r := 0; r < ranks; r++ {
+		load := float64(1+(r*7)%5) * 0.25
+		g.AddNode(r, trace.PhaseIO, "read", 0, 1+float64(r%3)*0.125)
+		g.AddNodeEnd(r, trace.PhaseRender, "render", 2, 2+load)
+		g.addSpan(int32(r), trace.PhaseComm, "recv", 2.5, 2.75, true) // nested: excluded from busy
+		g.AddNode(r, trace.PhaseComposite, "blend", 8, 0.5+float64(r%2)*0.0625)
+	}
+	for r := 1; r < ranks; r++ {
+		g.AddDep(Dep{Kind: DepBarrier, Src: 0, Dst: r, SrcT: 7, DstT: 7.5})
+		g.AddDep(Dep{Kind: DepFragment, Src: r - 1, Dst: r, SrcT: 8, DstT: 8.25, Bytes: 4096})
+	}
+}
+
+// TestLiteMatchesFull pins the streaming-aggregation contract: a lite
+// graph fed the identical insertion sequence reproduces the full
+// graph's imbalance, straggler, what-if, and dep-census sections
+// bit-for-bit, while storing no nodes; only the path sections differ
+// (lite has none).
+func TestLiteMatchesFull(t *testing.T) {
+	const ranks = 13
+	full, lite := NewGraph(ranks), NewGraphLite(ranks)
+	populate(full, ranks)
+	populate(lite, ranks)
+	if lite.NumNodes() != 0 {
+		t.Fatalf("lite graph stored %d nodes", lite.NumNodes())
+	}
+	if !lite.Lite() || full.Lite() {
+		t.Fatal("Lite() mode flags wrong")
+	}
+	if lite.End() != full.End() {
+		t.Fatalf("End: lite %v, full %v", lite.End(), full.End())
+	}
+	if lite.NumDeps() != full.NumDeps() {
+		t.Fatalf("NumDeps: lite %d, full %d", lite.NumDeps(), full.NumDeps())
+	}
+	bf, bl := full.BusyByPhase(), lite.BusyByPhase()
+	for ph := range bf {
+		for r := range bf[ph] {
+			if bf[ph][r] != bl[ph][r] {
+				t.Fatalf("busy[%d][%d]: full %v, lite %v", ph, r, bf[ph][r], bl[ph][r])
+			}
+		}
+	}
+	af, al := Analyze(full, 4), Analyze(lite, 4)
+	if al.Ranks != af.Ranks || al.Deps != af.Deps || al.TotalSec != af.TotalSec {
+		t.Errorf("headline: lite %+v, full %+v", al, af)
+	}
+	for k, v := range af.DepsByKind {
+		if al.DepsByKind[k] != v {
+			t.Errorf("deps_by_kind[%s]: lite %d, full %d", k, al.DepsByKind[k], v)
+		}
+	}
+	if len(al.Phases) != len(af.Phases) {
+		t.Fatalf("phase sections: lite %d, full %d", len(al.Phases), len(af.Phases))
+	}
+	for i := range af.Phases {
+		pf, pl := af.Phases[i], al.Phases[i]
+		if pl.Phase != pf.Phase || pl.MeanSec != pf.MeanSec || pl.MaxSec != pf.MaxSec ||
+			pl.MinSec != pf.MinSec || pl.CoV != pf.CoV || pl.Gini != pf.Gini ||
+			pl.P95Sec != pf.P95Sec || pl.Imbalance != pf.Imbalance || pl.SlackSec != pf.SlackSec {
+			t.Errorf("phase %s: lite %+v, full %+v", pf.Phase, pl, pf)
+		}
+		if len(pl.Stragglers) != len(pf.Stragglers) {
+			t.Fatalf("phase %s stragglers: lite %d, full %d", pf.Phase, len(pl.Stragglers), len(pf.Stragglers))
+		}
+		for j := range pf.Stragglers {
+			if pl.Stragglers[j] != pf.Stragglers[j] {
+				t.Errorf("straggler %d: lite %+v, full %+v", j, pl.Stragglers[j], pf.Stragglers[j])
+			}
+		}
+	}
+	if len(al.WhatIf) != len(af.WhatIf) {
+		t.Fatalf("what-if sections: lite %d, full %d", len(al.WhatIf), len(af.WhatIf))
+	}
+	for i := range af.WhatIf {
+		if al.WhatIf[i] != af.WhatIf[i] {
+			t.Errorf("what-if %d: lite %+v, full %+v", i, al.WhatIf[i], af.WhatIf[i])
+		}
+	}
+	// Lite has no path sections; its CriticalPath is the zero path.
+	if al.PathSec != 0 || len(al.Path) != 0 || al.Hops != 0 {
+		t.Errorf("lite analysis grew path sections: %+v", al)
+	}
+	if p := lite.CriticalPath(); p.Total() != 0 || len(p.Segments) != 0 {
+		t.Errorf("lite CriticalPath non-zero: %+v", p)
+	}
+}
+
+// TestNodesDepsAreCopies pins the materializing accessor contract:
+// mutating a returned slice must not corrupt the graph.
+func TestNodesDepsAreCopies(t *testing.T) {
+	g := twoRankFrame()
+	n0, d0 := g.Nodes()[0], g.Deps()[0]
+	g.Nodes()[0] = Node{Rank: 1, Name: "clobbered"}
+	g.Deps()[0] = Dep{Src: 1, Dst: 1}
+	if got := g.Nodes()[0]; got != n0 {
+		t.Errorf("Nodes()[0] changed after caller mutation: %+v", got)
+	}
+	if got := g.Deps()[0]; got != d0 {
+		t.Errorf("Deps()[0] changed after caller mutation: %+v", got)
+	}
+	if g.NumNodes() != 6 || g.NumDeps() != 2 {
+		t.Errorf("counts = %d nodes, %d deps", g.NumNodes(), g.NumDeps())
+	}
+}
+
+// TestNameInterning checks repeated span names share one table entry.
+func TestNameInterning(t *testing.T) {
+	g := NewGraph(4)
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 50; i++ {
+			g.AddNode(r, trace.PhaseRender, "render", float64(i), 0.5)
+		}
+	}
+	if len(g.names) != 1 {
+		t.Errorf("interned %d names, want 1", len(g.names))
+	}
+	if g.Nodes()[199].Name != "render" {
+		t.Errorf("interned name lost: %q", g.Nodes()[199].Name)
 	}
 }

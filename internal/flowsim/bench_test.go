@@ -3,12 +3,8 @@ package flowsim
 import (
 	"testing"
 
-	"bgpvr/internal/compose"
 	"bgpvr/internal/core"
-	"bgpvr/internal/grid"
-	"bgpvr/internal/img"
 	"bgpvr/internal/machine"
-	"bgpvr/internal/render"
 	"bgpvr/internal/torus"
 )
 
@@ -19,23 +15,7 @@ import (
 // placement — the same workload the imbalance bench streams through
 // SimulateTimed.
 func directSendPhase(procs int) (torus.Topology, torus.Params, []torus.Message) {
-	mach := machine.NewBGP()
-	scene := core.DefaultScene(256, 1024)
-	d := grid.NewDecomp(scene.Dims, procs)
-	cam := scene.Camera()
-	rects := make([]img.Rect, procs)
-	for r := range rects {
-		rects[r] = render.ProjectedRect(cam, d.BlockExtent(r))
-	}
-	m := machine.ImprovedCompositors(procs)
-	msgs := compose.DirectSendSchedule(rects, scene.ImageW, scene.ImageH, m, compose.PixelBytes)
-	top := mach.TorusFor(procs)
-	nodeOf := mach.RankToNode(procs, machine.PlacementBlock)
-	nm := make([]torus.Message, len(msgs))
-	for i, mm := range msgs {
-		nm[i] = torus.Message{Src: nodeOf[mm.Src], Dst: nodeOf[mm.Dst], Bytes: mm.Bytes}
-	}
-	return top, mach.Torus, nm
+	return core.CompositePhaseMessages(machine.NewBGP(), core.DefaultScene(256, 1024), procs, 0, 0)
 }
 
 // BenchmarkFlowsimDirectSend measures the max-min kernel on a 4K-rank
@@ -61,4 +41,46 @@ func BenchmarkFlowsimDirectSend(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFlowsimSharded runs the SimulateOpt entry on the 4K-rank
+// direct-send phase at 1/2/4 workers. This workload sits *below* the
+// gang's engagement thresholds (per-round touched work is too small to
+// amortize the rendezvous — forcing the gang here is 2x slower at 4
+// workers), so the legs should be flat: they pin that asking for
+// workers at sub-threshold scale costs nothing over the serial loop.
+// The at-scale speedup itself (2.2x at 4 workers on the 8K-rank
+// exchange) takes minutes per iteration and is gated by CI's
+// scale-smoke job instead.
+func BenchmarkFlowsimSharded(b *testing.B) {
+	const procs = 4096
+	top, p, nm := directSendPhase(procs)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, _ := SimulateOpt(top, p, nm, Options{Workers: workers})
+				if r.Completions == 0 {
+					b.Fatal("no flows simulated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlowsimApprox measures the clustered contention
+// approximation against the exact leg at the same scale: the eps-knob
+// trade of accuracy for event-loop work.
+func BenchmarkFlowsimApprox(b *testing.B) {
+	const procs = 4096
+	top, p, nm := directSendPhase(procs)
+	for _, eps := range []float64{0.08, 0.25} {
+		b.Run(map[float64]string{0.08: "eps08", 0.25: "eps25"}[eps], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, _ := SimulateOpt(top, p, nm, Options{ApproxEps: eps})
+				if r.Completions == 0 {
+					b.Fatal("no flows simulated")
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,123 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Gang is a persistent crew of workers for code that dispatches many
+// small parallel sections in a tight loop — flowsim's event loop fires
+// one per freeze round, tens of thousands per simulation, and For's
+// goroutine-per-call setup (~µs each) would dominate at that
+// granularity. A Gang starts its workers once; each Run is a spin
+// rendezvous on an atomic generation counter, cheap enough to amortize
+// sections of a few microseconds.
+//
+// The determinism contract is the same as For's: Run(fn) executes
+// fn(shard) once for every shard in [0, width), shards write disjoint
+// output slots, and the caller merges them in shard order afterwards.
+// Shard 0 always runs inline on the calling goroutine, so a width-1
+// Gang never starts goroutines and Run degenerates to a direct call.
+type Gang struct {
+	width int
+	fn    func(shard int)
+	gen   atomic.Uint32
+	done  atomic.Int32
+	stop  atomic.Bool
+	pan   atomic.Pointer[panicked]
+}
+
+// NewGang starts a gang of the given width (0 or negative means all
+// cores, like Workers). The width-1 fast path starts nothing. Callers
+// must Close the gang when done or its workers spin-wait forever.
+func NewGang(width int) *Gang {
+	g := &Gang{width: Workers(width)}
+	for w := 1; w < g.width; w++ {
+		go g.worker(w)
+	}
+	return g
+}
+
+// Width returns the number of shards every Run dispatches.
+func (g *Gang) Width() int { return g.width }
+
+// worker spins for the next generation, runs its shard, and reports
+// completion. Between short spins it yields; after a long idle stretch
+// it sleeps so an open-but-unused gang does not pin a core.
+func (g *Gang) worker(shard int) {
+	last := uint32(0)
+	for {
+		spins := 0
+		var cur uint32
+		for {
+			cur = g.gen.Load()
+			if cur != last {
+				break
+			}
+			spins++
+			if spins > 1<<7 {
+				runtime.Gosched()
+			}
+			if spins > 1<<16 {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		last = cur
+		if g.stop.Load() {
+			return
+		}
+		g.runShard(shard)
+		g.done.Add(1)
+	}
+}
+
+// runShard executes one shard, converting a panic into a recorded
+// first-panic so Run can re-raise it on the caller.
+func (g *Gang) runShard(shard int) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			g.pan.CompareAndSwap(nil, &panicked{val: r, stack: buf})
+		}
+	}()
+	g.fn(shard)
+}
+
+// Run executes fn(shard) for every shard in [0, width) and returns when
+// all shards have finished. The caller's goroutine runs shard 0. A
+// panic in any shard is re-raised here after the rendezvous completes,
+// so the gang stays reusable. Run must not be called concurrently with
+// itself or Close.
+func (g *Gang) Run(fn func(shard int)) {
+	if g.width <= 1 {
+		fn(0)
+		return
+	}
+	g.fn = fn
+	g.done.Store(0)
+	g.gen.Add(1) // release: workers observe fn after seeing the new gen
+	g.runShard(0)
+	spins := 0
+	for g.done.Load() != int32(g.width-1) {
+		spins++
+		if spins > 1<<7 {
+			runtime.Gosched()
+		}
+	}
+	g.fn = nil
+	if p := g.pan.Swap(nil); p != nil {
+		panic(fmt.Sprintf("par: gang shard panic: %v\n%s", p.val, p.stack))
+	}
+}
+
+// Close releases the gang's workers. The gang must not be used after.
+func (g *Gang) Close() {
+	if g.width <= 1 {
+		return
+	}
+	g.stop.Store(true)
+	g.gen.Add(1)
+}

@@ -25,7 +25,9 @@ import (
 //	2 — adds the critpath and imbalance sections
 //	3 — adds the fidelity section (paper-fidelity scorecard)
 //	4 — runtime section gains workers and parallel_speedup
-const ReportSchema = 4
+//	5 — adds the flowsim section (approx_eps / observed_err accuracy
+//	    telemetry of the clustered contention approximation)
+const ReportSchema = 5
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -47,7 +49,31 @@ type Report struct {
 	CritPath   *CritPathStat     `json:"critpath,omitempty"`
 	Imbalance  []ImbalanceStat   `json:"imbalance,omitempty"`
 	Fidelity   *FidelityStat     `json:"fidelity,omitempty"`
+	Flowsim    *FlowsimStat      `json:"flowsim,omitempty"`
 	Runtime    *RuntimeStat      `json:"runtime,omitempty"`
+}
+
+// FlowsimStat records the contention-kernel configuration of the run
+// and, in approximate mode, its accuracy telemetry: the requested
+// error bound and the error actually observed. ObservedErr is the true
+// relative error when an exact cross-check ran (small configs), else
+// the self-measured bound gap — (time - certified lower bound)/time —
+// which bounds the true error from above.
+type FlowsimStat struct {
+	ApproxEps   float64 `json:"approx_eps"`
+	ObservedErr float64 `json:"observed_err"`
+	// ErrExact marks ObservedErr as a true exact-vs-approx comparison
+	// rather than the self-measured bound gap.
+	ErrExact      bool    `json:"err_exact,omitempty"`
+	RegionSide    int     `json:"region_side,omitempty"`
+	Regions       int     `json:"regions,omitempty"`
+	ModelLinks    int     `json:"model_links,omitempty"`
+	PhysLinks     int     `json:"phys_links,omitempty"`
+	LowerBoundSec float64 `json:"lower_bound_sec,omitempty"`
+	ExactSec      float64 `json:"exact_sec,omitempty"`
+	ApproxSec     float64 `json:"approx_sec,omitempty"`
+	Events        int64   `json:"events,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
 }
 
 // FidelityStat is the paper-fidelity scorecard section: how closely
@@ -453,6 +479,35 @@ func CompareImbalance(old, new *Report, threshold float64) []Delta {
 	if old.CritPath != nil && new.CritPath != nil {
 		deltas = append(deltas, flagDelta("critpath path_sec", "imbalance", "s",
 			old.CritPath.PathSec, new.CritPath.PathSec, threshold))
+	}
+	return deltas
+}
+
+// CompareFlowsim compares the contention-kernel accuracy telemetry of
+// two reports. The observed error growing beyond the threshold is a
+// regression, and an observed error exceeding the run's own requested
+// eps is always one — the bounded-error contract is broken no matter
+// what the baseline said. Both reports must carry a flowsim section
+// for anything to compare.
+func CompareFlowsim(old, new *Report, threshold float64) []Delta {
+	if old.Flowsim == nil || new.Flowsim == nil {
+		return nil
+	}
+	d := flagDelta("flowsim observed_err", "flowsim", "ratio",
+		old.Flowsim.ObservedErr, new.Flowsim.ObservedErr, threshold)
+	if new.Flowsim.ApproxEps > 0 && new.Flowsim.ObservedErr > new.Flowsim.ApproxEps {
+		d.Regression = true
+	}
+	deltas := []Delta{d}
+	if old.Flowsim.ApproxEps != new.Flowsim.ApproxEps {
+		// A changed bound is a config drift worth a line, not a timing
+		// regression on its own.
+		deltas = append(deltas, Delta{Metric: "flowsim approx_eps", Class: "flowsim", Unit: "ratio",
+			Old: old.Flowsim.ApproxEps, New: new.Flowsim.ApproxEps})
+	}
+	if old.Flowsim.ApproxSec > 0 && new.Flowsim.ApproxSec > 0 {
+		deltas = append(deltas, flagDelta("flowsim approx_sec", "flowsim", "s",
+			old.Flowsim.ApproxSec, new.Flowsim.ApproxSec, threshold))
 	}
 	return deltas
 }

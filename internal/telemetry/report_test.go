@@ -51,6 +51,12 @@ func goldenReport() *Report {
 	r.AddBreakdown(tr.Breakdown())
 	r.AddNetTelemetry(nt)
 	r.AddCritPath(critpath.Analyze(g, 1))
+	r.Flowsim = &FlowsimStat{
+		ApproxEps: 0.08, ObservedErr: 0.012, ErrExact: true,
+		RegionSide: 4, Regions: 8, ModelLinks: 432, PhysLinks: 384,
+		LowerBoundSec: 0.082, ExactSec: 0.085, ApproxSec: 0.084,
+		Events: 120, Workers: 2,
+	}
 	return r
 }
 
@@ -274,6 +280,53 @@ func TestCompareFidelity(t *testing.T) {
 	}
 	if d := CompareFidelity(&Report{}, cur, 0.05); d != nil {
 		t.Errorf("missing old-side fidelity produced deltas: %+v", d)
+	}
+}
+
+func TestCompareFlowsim(t *testing.T) {
+	old := &Report{Flowsim: &FlowsimStat{ApproxEps: 0.08, ObservedErr: 0.01, ApproxSec: 1.0}}
+	cur := &Report{Flowsim: &FlowsimStat{ApproxEps: 0.08, ObservedErr: 0.05, ApproxSec: 1.02}}
+	deltas := CompareFlowsim(old, cur, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("%d deltas, want 2 (err + approx_sec): %+v", len(deltas), deltas)
+	}
+	if !deltas[0].Regression {
+		t.Errorf("observed_err 0.01 -> 0.05 not flagged: %+v", deltas[0])
+	}
+	if deltas[0].Class != "flowsim" || deltas[0].Unit != "ratio" {
+		t.Errorf("class/unit = %q/%q", deltas[0].Class, deltas[0].Unit)
+	}
+	if deltas[1].Regression {
+		t.Errorf("approx_sec +2%% flagged at 10%% threshold: %+v", deltas[1])
+	}
+
+	// Breaking the run's own eps bound is a regression even against a
+	// worse baseline.
+	old2 := &Report{Flowsim: &FlowsimStat{ApproxEps: 0.08, ObservedErr: 0.10}}
+	cur2 := &Report{Flowsim: &FlowsimStat{ApproxEps: 0.08, ObservedErr: 0.09}}
+	if d := CompareFlowsim(old2, cur2, 0.10); !d[0].Regression {
+		t.Errorf("err 0.09 > eps 0.08 not flagged: %+v", d[0])
+	}
+
+	// A changed eps shows up as an unflagged config-drift line.
+	cur3 := &Report{Flowsim: &FlowsimStat{ApproxEps: 0.25, ObservedErr: 0.01}}
+	d := CompareFlowsim(old, cur3, 0.10)
+	found := false
+	for _, dd := range d {
+		if dd.Metric == "flowsim approx_eps" {
+			found = true
+			if dd.Regression {
+				t.Errorf("eps change flagged as regression: %+v", dd)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("eps change produced no delta: %+v", d)
+	}
+
+	// Reports without flowsim sections compare to nothing.
+	if d := CompareFlowsim(old, &Report{}, 0.10); d != nil {
+		t.Errorf("missing flowsim section produced deltas: %+v", d)
 	}
 }
 

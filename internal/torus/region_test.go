@@ -1,0 +1,111 @@
+package torus
+
+import "testing"
+
+// TestRegionsPartition checks that the decomposition is a partition:
+// every node lands in exactly one region and the member counts sum to
+// the node count, including ragged extents.
+func TestRegionsPartition(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, side int
+	}{
+		{64, 2}, {64, 4}, {512, 4}, {300, 4}, {512, 16}, {128, 1},
+	} {
+		top := NewTopology(tc.nodes)
+		r := NewRegions(top, tc.side)
+		total := 0
+		for reg := 0; reg < r.NumRegions(); reg++ {
+			total += int(r.size[reg])
+		}
+		if total != top.Nodes() {
+			t.Errorf("nodes=%d side=%d: region sizes sum to %d, want %d",
+				tc.nodes, tc.side, total, top.Nodes())
+		}
+		for id := 0; id < top.Nodes(); id++ {
+			if reg := r.RegionOf(id); reg < 0 || reg >= r.NumRegions() {
+				t.Fatalf("nodes=%d side=%d: node %d region %d out of range",
+					tc.nodes, tc.side, id, reg)
+			}
+		}
+		// Nodes in the same region are within Side-1 of each other on
+		// every axis (regions are axis-aligned blocks).
+		for id := 0; id < top.Nodes(); id++ {
+			c := top.Coord(id)
+			want := (c.Z/tc.side*r.RDims.Y+c.Y/tc.side)*r.RDims.X + c.X/tc.side
+			if r.RegionOf(id) != want {
+				t.Fatalf("nodes=%d side=%d: node %d region %d, want block %d",
+					tc.nodes, tc.side, id, r.RegionOf(id), want)
+			}
+		}
+	}
+}
+
+// TestRegionsCapacityConserved checks the pooling invariant: summing
+// every aggregate's capacity recovers exactly the torus's total
+// physical link bandwidth (one link per node per direction).
+func TestRegionsCapacityConserved(t *testing.T) {
+	p := NewBGP()
+	for _, side := range []int{1, 2, 4} {
+		top := NewTopology(512)
+		r := NewRegions(top, side)
+		caps := r.ModelCapacity(p)
+		var agg float64
+		for l := 0; l < 6*r.NumRegions(); l++ {
+			agg += caps[l]
+		}
+		want := float64(top.NumLinks()) * p.LinkBandwidth
+		if agg != want {
+			t.Errorf("side %d: aggregate capacity %g, want %g", side, agg, want)
+		}
+		for l := 6 * r.NumRegions(); l < len(caps); l++ {
+			if caps[l] != p.LinkBandwidth {
+				t.Fatalf("side %d: physical model link %d capacity %g", side, l, caps[l])
+			}
+		}
+	}
+}
+
+// TestMapLinkEndpointExact checks that hops inside a flow's endpoint
+// regions keep their physical identity and transit hops collapse onto
+// the owning region's directional aggregate.
+func TestMapLinkEndpointExact(t *testing.T) {
+	top := NewTopology(512) // 8x8x8
+	r := NewRegions(top, 2)
+	src, dst := 0, top.Nodes()-1
+	srcReg, dstReg := r.RegionOf(src), r.RegionOf(dst)
+	sawExact, sawAgg := false, false
+	top.Route(src, dst, func(link int) {
+		ml := r.MapLink(srcReg, dstReg, link)
+		node, dir := LinkOf(link)
+		reg := r.RegionOf(node)
+		if reg == srcReg || reg == dstReg {
+			sawExact = true
+			if ml != 6*r.NumRegions()+link {
+				t.Fatalf("endpoint hop %d mapped to %d, want physical identity", link, ml)
+			}
+		} else {
+			sawAgg = true
+			if ml != 6*reg+dir {
+				t.Fatalf("transit hop %d mapped to %d, want aggregate %d", link, ml, 6*reg+dir)
+			}
+		}
+	})
+	if !sawExact || !sawAgg {
+		t.Fatalf("route exercised exact=%v aggregate=%v; want both", sawExact, sawAgg)
+	}
+}
+
+// TestSideForEps pins the eps -> cluster-side bands, including the
+// degrade-to-exact floor.
+func TestSideForEps(t *testing.T) {
+	for _, tc := range []struct {
+		eps  float64
+		side int
+	}{
+		{0.30, 8}, {0.25, 8}, {0.10, 4}, {0.08, 4}, {0.05, 2}, {0.02, 2}, {0.01, 1}, {0, 1},
+	} {
+		if got := SideForEps(tc.eps); got != tc.side {
+			t.Errorf("SideForEps(%g) = %d, want %d", tc.eps, got, tc.side)
+		}
+	}
+}
