@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -27,6 +29,7 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/mpiio"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/par"
 	"bgpvr/internal/runstore"
 	"bgpvr/internal/stats"
@@ -58,14 +61,23 @@ func main() {
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel render loops (0 = all cores)")
 	flowsimApprox := flag.Float64("flowsim-approx", -1, "cross-check the model's compositing phase with the max-min flow kernel: 0 runs it exactly, eps > 0 the bounded-error clustered approximation (< 0 skips; model mode)")
+	progress := flag.Bool("progress", false, "emit periodic structured progress heartbeats (phase done/total, rate, ETA) to stderr")
+	progressInterval := flag.Duration("progress-interval", obs.DefaultHeartbeatInterval, "heartbeat period for -progress")
+	crashDump := flag.String("crash-dump", "", "write a flight record (recent events, phase progress, metrics, goroutine stacks) to this file on SIGQUIT/SIGTERM or -soft-deadline, then exit")
+	softDeadline := flag.Duration("soft-deadline", 0, "dump the flight record and exit this long after start; set it just below an external kill budget so the run leaves a post-mortem (0 disables)")
 	flag.Parse()
 
+	if *progress {
+		hb := obs.StartHeartbeat(slog.New(slog.NewTextHandler(os.Stderr, nil)), *progressInterval)
+		defer hb.Stop()
+	}
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
 		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
 		traceOut: *traceOut, breakdown: *breakdown, critpath: *critOut,
 		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap,
 		runRecord: *runRecord, flowsimEps: *flowsimApprox,
+		crashDump: *crashDump, softDeadline: *softDeadline,
 		workers: par.Workers(*workers)}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
 		os.Exit(1)
@@ -119,7 +131,9 @@ type runArgs struct {
 	linkmap       string
 	runRecord     string
 	flowsimEps    float64 // -flowsim-approx: < 0 off, 0 exact, > 0 eps
-	workers       int     // resolved pool width (par.Workers already applied)
+	crashDump     string
+	softDeadline  time.Duration
+	workers       int // resolved pool width (par.Workers already applied)
 }
 
 // critTopK is how many straggler ranks each phase reports.
@@ -271,9 +285,41 @@ func run(a runArgs) error {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /critpath, /runs)\n", srv.Addr)
+		fmt.Printf("debug endpoint: http://%s/ (pprof, expvar, /telemetry, /metrics, /critpath, /runs)\n", srv.Addr)
 	}
 	wallStart := time.Now()
+	obs.Note("bgpvr run: mode=%s n=%d img=%d procs=%d m=%d format=%s algo=%s workers=%d",
+		mode, n, imgSize, procs, m, format, algo, a.workers)
+	if a.crashDump != "" || a.softDeadline > 0 {
+		// The flight recorder: a kill (or the soft deadline) dumps recent
+		// events, phase progress, metrics, and goroutine stacks to the
+		// crash file, plus a best-effort partial perf report so even a
+		// killed run leaves machine-readable evidence.
+		wd := obs.StartWatchdog(obs.WatchdogConfig{
+			Path:         a.crashDump,
+			SoftDeadline: a.softDeadline,
+			Extra: func(w io.Writer) {
+				if a.perfReport == "" {
+					return
+				}
+				r := telemetry.NewReport("bgpvr-" + a.mode)
+				r.Config = map[string]string{"mode": a.mode, "partial": "true"}
+				if tr != nil {
+					r.AddBreakdown(tr.Breakdown())
+				}
+				r.AddNetTelemetry(nt)
+				r.AddRuntime(time.Since(wallStart).Seconds())
+				busy, wallT := par.Stats()
+				r.AddParallel(a.workers, busy.Seconds(), wallT.Seconds())
+				if err := r.WriteFile(a.perfReport); err != nil {
+					fmt.Fprintf(w, "\npartial perf report: write failed: %v\n", err)
+					return
+				}
+				fmt.Fprintf(w, "\npartial perf report written to %s\n", a.perfReport)
+			},
+		})
+		defer wd.Stop()
+	}
 
 	switch mode {
 	case "model":

@@ -29,6 +29,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -40,6 +42,7 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/fidelity"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/par"
 	"bgpvr/internal/runstore"
 	"bgpvr/internal/stats"
@@ -236,6 +239,10 @@ func main() {
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	workers := flag.Int("workers", 0, "worker goroutines for the sweep and render loops (0 = all cores)")
 	flowsimApprox := flag.Float64("flowsim-approx", 0, "clustered-contention error bound eps for -exp flowscale (0 = exact kernel)")
+	progress := flag.Bool("progress", false, "emit periodic structured progress heartbeats (phase done/total, rate, ETA) to stderr")
+	progressInterval := flag.Duration("progress-interval", obs.DefaultHeartbeatInterval, "heartbeat period for -progress")
+	crashDump := flag.String("crash-dump", "", "write a flight record (recent events, phase progress, metrics, goroutine stacks) to this file on SIGQUIT/SIGTERM or -soft-deadline, then exit")
+	softDeadline := flag.Duration("soft-deadline", 0, "dump the flight record and exit this long after start; set it just below an external kill budget so the run leaves a post-mortem (0 disables)")
 	flag.Parse()
 
 	w := par.Workers(*workers)
@@ -245,6 +252,38 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *progress {
+		hb := obs.StartHeartbeat(slog.New(slog.NewTextHandler(os.Stderr, nil)), *progressInterval)
+		defer hb.Stop()
+	}
+	wallStart := time.Now()
+	obs.Note("experiments run: exp=%s procs=%d n=%d img=%d workers=%d eps=%g",
+		*exp, *procs, *n, *imgSize, w, *flowsimApprox)
+	if *crashDump != "" || *softDeadline > 0 {
+		// Flight recorder: a kill or the soft deadline leaves a crash file
+		// plus a best-effort partial perf report (runtime + pool stats —
+		// the sweeps' own tables die with the run).
+		wd := obs.StartWatchdog(obs.WatchdogConfig{
+			Path:         *crashDump,
+			SoftDeadline: *softDeadline,
+			Extra: func(cw io.Writer) {
+				if *perfReport == "" {
+					return
+				}
+				r := telemetry.NewReport("experiments-" + *exp)
+				r.Config = map[string]string{"exp": *exp, "partial": "true"}
+				r.AddRuntime(time.Since(wallStart).Seconds())
+				busy, wallT := par.Stats()
+				r.AddParallel(w, busy.Seconds(), wallT.Seconds())
+				if err := r.WriteFile(*perfReport); err != nil {
+					fmt.Fprintf(cw, "\npartial perf report: write failed: %v\n", err)
+					return
+				}
+				fmt.Fprintf(cw, "\npartial perf report written to %s\n", *perfReport)
+			},
+		})
+		defer wd.Stop()
 	}
 	var critA atomic.Pointer[critpath.Analysis]
 	var fidA atomic.Pointer[telemetry.FidelityStat]

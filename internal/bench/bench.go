@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 
+	"bgpvr/internal/obs"
+	"bgpvr/internal/par"
 	"bgpvr/internal/stats"
 )
 
@@ -21,6 +23,25 @@ import (
 // bit-identical tables at any width. 0 means all cores (par.Workers);
 // cmd/experiments overrides it from -workers.
 var Workers = 0
+
+// sweepPhase is the shared progress phase every sweep driver reports
+// through: with several figures running back to back the sessions
+// overlap and the heartbeat shows one accumulated done/total line.
+var sweepPhase = obs.GetPhase("bench-sweep")
+
+// sweep evaluates n independent sweep points over the shared pool
+// width (the par.ForErr contract: disjoint result slots, lowest-index
+// error), ticking the bench-sweep progress phase as points complete so
+// long figure regenerations are visible to -progress and /metrics.
+func sweep(n int, fn func(i int) error) error {
+	sweepPhase.Start(int64(n))
+	defer sweepPhase.End()
+	return par.ForErr(Workers, n, func(i int) error {
+		err := fn(i)
+		sweepPhase.Add(1)
+		return err
+	})
+}
 
 // ProcSweep is the paper's core-count axis (Fig 3, 6, 7).
 var ProcSweep = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}

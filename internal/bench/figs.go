@@ -5,7 +5,6 @@ import (
 
 	"bgpvr/internal/core"
 	"bgpvr/internal/machine"
-	"bgpvr/internal/par"
 	"bgpvr/internal/torus"
 )
 
@@ -27,7 +26,7 @@ func Fig3(mach machine.Machine) ([]Fig3Point, string, error) {
 		return nil, "", err
 	}
 	pts := make([]Fig3Point, len(ProcSweep))
-	err = par.ForErr(Workers, len(ProcSweep), func(i int) error {
+	err = sweep(len(ProcSweep), func(i int) error {
 		p := ProcSweep[i]
 		orig, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Compositors: p, Format: core.FormatRaw, Machine: mach})
@@ -88,7 +87,7 @@ func Fig4(mach machine.Machine) ([]Fig4Point, string, error) {
 		}
 	}
 	pts := make([]Fig4Point, len(ps))
-	err = par.ForErr(Workers, len(ps), func(i int) error {
+	err = sweep(len(ps), func(i int) error {
 		p := ps[i]
 		orig, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Compositors: p, Format: core.FormatGenerate, Machine: mach})
@@ -164,7 +163,7 @@ func Fig5(mach machine.Machine) ([]Fig5Point, string, error) {
 		}
 	}
 	pts := make([]Fig5Point, len(jobs))
-	err := par.ForErr(Workers, len(jobs), func(i int) error {
+	err := sweep(len(jobs), func(i int) error {
 		j := jobs[i]
 		r, err := core.RunModel(core.ModelConfig{
 			Scene: j.scene, Procs: j.p, Format: core.FormatRaw, Machine: mach})
@@ -271,7 +270,7 @@ func Fig6(mach machine.Machine) ([]Fig6Point, string, error) {
 		Columns: []string{"procs", "% I/O", "% render", "% composite"},
 	}
 	pts := make([]Fig6Point, len(ProcSweep))
-	err = par.ForErr(Workers, len(ProcSweep), func(i int) error {
+	err = sweep(len(ProcSweep), func(i int) error {
 		p := ProcSweep[i]
 		r, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: p, Format: core.FormatRaw, Machine: mach})
@@ -314,7 +313,7 @@ func Fig7(mach machine.Machine) ([]Fig7Point, string, error) {
 		Columns: []string{"procs", "raw", "tuned PnetCDF", "original PnetCDF"},
 	}
 	pts := make([]Fig7Point, len(ProcSweep))
-	err = par.ForErr(Workers, len(ProcSweep), func(i int) error {
+	err = sweep(len(ProcSweep), func(i int) error {
 		p := ProcSweep[i]
 		run := func(format core.Format, window int64) (float64, error) {
 			cfg := core.ModelConfig{Scene: scene, Procs: p, Format: format, Machine: mach}

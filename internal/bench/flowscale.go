@@ -8,6 +8,7 @@ import (
 	"bgpvr/internal/core"
 	"bgpvr/internal/flowsim"
 	"bgpvr/internal/machine"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
 )
@@ -130,8 +131,12 @@ func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, w
 	}
 	counts = append(counts, procs)
 	pts := make([]FlowScalePoint, len(counts))
+	fsPhase := obs.GetPhase("flowscale")
+	fsPhase.Start(int64(len(counts)))
+	defer fsPhase.End()
 	for i, p := range counts {
 		exact := p <= FlowScaleExactMax
+		obs.Note("flowscale point %d/%d: %d cores (exact cross-check %v)", i+1, len(counts), p, exact)
 		pt, err := FlowScaleAt(mach, scene, p, 0, eps, workers, exact)
 		if err != nil {
 			return nil, "", err
@@ -140,6 +145,7 @@ func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, w
 			return nil, "", fmt.Errorf("bench: approx error %.4f exceeds eps %g at %d cores", pt.ObservedErr, eps, p)
 		}
 		pts[i] = pt
+		fsPhase.Add(1)
 	}
 
 	t := Table{

@@ -8,7 +8,6 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/flowsim"
 	"bgpvr/internal/machine"
-	"bgpvr/internal/par"
 	"bgpvr/internal/stats"
 )
 
@@ -61,7 +60,7 @@ func Imbalance(mach machine.Machine) ([]ImbalanceRun, string, error) {
 		Columns: []string{"cores", "mean", "max", "imbal", "cov", "gini", "slack", "balanced saves"},
 	}
 	renderRuns := make([]ImbalanceRun, len(ImbalanceSweep))
-	err := par.ForErr(Workers, len(ImbalanceSweep), func(i int) error {
+	err := sweep(len(ImbalanceSweep), func(i int) error {
 		r, err := imbalanceRun(mach, scene, ImbalanceSweep[i], 0)
 		renderRuns[i] = r
 		return err
@@ -95,7 +94,7 @@ func Imbalance(mach machine.Machine) ([]ImbalanceRun, string, error) {
 		}
 	}
 	compRuns := make([]ImbalanceRun, len(jobs))
-	err = par.ForErr(Workers, len(jobs), func(i int) error {
+	err = sweep(len(jobs), func(i int) error {
 		r, err := imbalanceRun(mach, scene, jobs[i].p, jobs[i].m)
 		compRuns[i] = r
 		return err

@@ -6,7 +6,6 @@ import (
 
 	"bgpvr/internal/core"
 	"bgpvr/internal/machine"
-	"bgpvr/internal/par"
 	"bgpvr/internal/stats"
 	"bgpvr/internal/telemetry"
 )
@@ -30,7 +29,7 @@ func LinkContention(mach machine.Machine, procs int) ([2]LinkContentionRun, stri
 	scene := core.DefaultScene(1120, 1600)
 	var runs [2]LinkContentionRun
 	ms := []int{procs, machine.ImprovedCompositors(procs)}
-	err := par.ForErr(Workers, len(ms), func(i int) error {
+	err := sweep(len(ms), func(i int) error {
 		nt := &telemetry.NetTelemetry{}
 		res, err := core.RunModel(core.ModelConfig{
 			Scene: scene, Procs: procs, Compositors: ms[i],

@@ -183,6 +183,10 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 		copy(mMsgOf[mOff[g]:], ms)
 	}
 
+	simPhase.Start(int64(nflows))
+	defer simPhase.End()
+	cSimFlows.Add(int64(nflows))
+
 	res := Result{Completions: nflows}
 	now := 0.0
 	active := nflows
@@ -301,6 +305,7 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 		// full scan's minimum of remaining/rate over every flow.
 		dt := math.Inf(1)
 		remainingUnfrozen := active
+		freezeRounds, frozenFlows := 0, 0 // flushed to obs counters per event
 		for remainingUnfrozen > 0 {
 			bott := -1
 			var sel float64
@@ -364,6 +369,7 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 				break // flows with no links (cannot happen; guarded above)
 			}
 			u.AddBottleneck(bott)
+			freezeRounds++
 			// Freeze the bottleneck's groups, lazily dropping finished
 			// ones from its list (order preserved). A group's k live
 			// members all freeze at sel here, exactly as the rescan
@@ -393,6 +399,7 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 				gst.rate = sel
 				k := gst.end - lo
 				remainingUnfrozen -= int(k)
+				frozenFlows += int(k)
 				if sel > 0 {
 					if rem := mRemaining[lo]; rem < dtThr {
 						if d := rem / sel; d < dt {
@@ -462,6 +469,9 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 			}
 		}
 		res.Events++
+		cSimEvents.Inc()
+		cSimFreezeRounds.Add(int64(freezeRounds))
+		cSimFrozenFlows.Add(int64(frozenFlows))
 
 		if math.IsInf(dt, 1) {
 			break // starved flows: cannot progress (zero bandwidth)
@@ -478,6 +488,7 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 		// of a group subtract the identical rate*dt, so their remaining
 		// bytes keep the sorted order they started in and the members
 		// that finish this event are exactly a prefix of the group.
+		prevActive := active
 		for _, g := range activeGroups {
 			gst := &gs[g]
 			lo, hi := gst.front, gst.end
@@ -505,6 +516,7 @@ func SimulateTimed(top torus.Topology, p torus.Params, msgs []torus.Message, u *
 				}
 			}
 		}
+		simPhase.Add(int64(prevActive - active))
 	}
 	res.Time = now + overheadMax + p.RouteLatency
 	if ft != nil {

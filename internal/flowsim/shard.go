@@ -236,6 +236,10 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 		}
 	}
 
+	simPhase.Start(int64(nflows))
+	defer simPhase.End()
+	cSimFlows.Add(int64(nflows))
+
 	res := Result{Completions: nflows}
 	now := 0.0
 	active := nflows
@@ -490,6 +494,7 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 
 		dt := math.Inf(1)
 		remainingUnfrozen := active
+		freezeRounds, frozenFlows := 0, 0 // flushed to obs counters per event
 		for remainingUnfrozen > 0 {
 			bott := -1
 			var sel float64
@@ -537,6 +542,7 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 				break
 			}
 			u.AddBottleneck(bott)
+			freezeRounds++
 			// Pass 1, serial: settle which groups freeze this round,
 			// their weights, the completion-time fold, and the
 			// bottleneck's compacted group list — everything whose
@@ -559,6 +565,7 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 				gst.rate = sel
 				k := gst.end - lo
 				remainingUnfrozen -= int(k)
+				frozenFlows += int(k)
 				if sel > 0 {
 					if rem := mRemaining[lo]; rem < dtThr {
 						if d := rem / sel; d < dt {
@@ -641,6 +648,9 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 			}
 		}
 		res.Events++
+		cSimEvents.Inc()
+		cSimFreezeRounds.Add(int64(freezeRounds))
+		cSimFrozenFlows.Add(int64(frozenFlows))
 
 		if math.IsInf(dt, 1) {
 			break
@@ -657,6 +667,7 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 		// shards by group tiles (disjoint member ranges); the
 		// completion bookkeeping — front moves, stamps, live-count
 		// decrements — merges serially in group order.
+		prevActive := active
 		if gang != nil && active >= shardMinFlows {
 			rnd.nGrp = len(activeGroups)
 			rnd.dt = dt
@@ -706,6 +717,7 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 				}
 			}
 		}
+		simPhase.Add(int64(prevActive - active))
 	}
 	// Clamp onto the certifiable floor: pooled transit capacity can
 	// only be optimistic (it averages away intra-pool imbalance), so

@@ -38,8 +38,22 @@ import (
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/iotrace"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/vfile"
+)
+
+// Live observability for the two-phase read: stagePhase ticks once per
+// collective-buffer window an aggregator walks (sessions from the
+// concurrent per-rank aggregators of one collective overlap and
+// accumulate), and the counters mirror the physical-access trace
+// counters into /metrics.
+var (
+	stagePhase     = obs.GetPhase("mpiio-stage")
+	cStageAccesses = obs.Default.NewCounter("bgpvr_mpiio_accesses_total",
+		"Physical file accesses issued by I/O aggregators.")
+	cStageBytes = obs.Default.NewCounter("bgpvr_mpiio_staged_bytes_total",
+		"Bytes physically read into collective buffers.")
 )
 
 // DefaultCBBufferSize is the untuned collective buffer size. ROMIO's
@@ -301,7 +315,10 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 			cursor := make([]int, len(srcs)) // per-src next fragment
 			buf := make([]byte, w)
 			ni := 0
+			stagePhase.Start((dhi - dlo + w - 1) / w)
+			defer stagePhase.End()
 			for wlo := dlo; wlo < dhi; wlo += w {
+				stagePhase.Add(1)
 				whi := min64(wlo+w, dhi)
 				for ni < len(needed) && needed[ni].End() <= wlo {
 					ni++
@@ -320,6 +337,8 @@ func CollectiveRead(c *comm.Comm, f vfile.File, myRuns []grid.Run, h Hints) ([]b
 				}
 				tr.Add(trace.CounterAccesses, 1)
 				tr.Add(trace.CounterBytesRead, rhi-rlo)
+				cStageAccesses.Inc()
+				cStageBytes.Add(rhi - rlo)
 				c.Net().ObserveAccess(rhi - rlo)
 				// Scatter the window's fragments to each source's reply.
 				for si := range srcs {

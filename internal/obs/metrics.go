@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Sample is one exposed time-series value: a metric name (histograms
+// emit several derived names), an optional rendered label list, and
+// the value. Integer-valued samples render without a decimal point so
+// counter output stays exact at any magnitude.
+type Sample struct {
+	Name   string
+	Labels string // rendered pairs without braces, e.g. `le="4096"`
+	Value  float64
+	Int    bool
+}
+
+// metric is what the registry stores: anything that can describe
+// itself and append its current samples.
+type metric interface {
+	typ() string
+	helpText() string
+	collect(out []Sample) []Sample
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format with stable (name-sorted) ordering. The zero
+// Registry is not usable; use NewRegistry or the package Default.
+// Registration is get-or-create: asking twice for the same name and
+// kind returns the same instance, so package-level metric variables
+// stay cheap and idempotent across tests.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]metric{}}
+}
+
+// Default is the process-global registry the instrumented layers
+// register into and the /metrics endpoint serves.
+var Default = NewRegistry()
+
+// register returns the existing metric under name or installs the one
+// built by mk. A name registered with a different kind panics: that is
+// a programming error, not a runtime condition.
+func (r *Registry) register(name, kind string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.typ() != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.typ()))
+		}
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// NewCounter registers (or returns) the named monotonic counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(name, "counter", func() metric {
+		return &Counter{name: name, help: help}
+	}).(*Counter)
+}
+
+// NewGauge registers (or returns) the named settable gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(name, "gauge", func() metric {
+		return &Gauge{name: name, help: help}
+	}).(*Gauge)
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at
+// collection time — the natural shape for layers that already keep
+// their own totals (par.Stats, runtime stats).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, "gauge", func() metric {
+		return &gaugeFunc{name: name, help: help, fn: fn}
+	})
+}
+
+// NewHistogram registers (or returns) the named fixed-bucket
+// histogram. bounds are ascending upper bounds; an implicit +Inf
+// bucket is always appended.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, "histogram", func() metric {
+		h := &Histogram{name: name, help: help, bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+// Snapshot returns every sample the registry would expose, in the
+// exposition's stable order.
+func (r *Registry) Snapshot() []Sample {
+	var out []Sample
+	for _, name := range r.sortedNames() {
+		r.mu.Lock()
+		m := r.metrics[name]
+		r.mu.Unlock()
+		out = m.collect(out)
+	}
+	return out
+}
+
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name so the output is
+// stable and diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, name := range r.sortedNames() {
+		r.mu.Lock()
+		m := r.metrics[name]
+		r.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.helpText(), name, m.typ()); err != nil {
+			return err
+		}
+		for _, s := range m.collect(nil) {
+			if err := writeSample(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	var v string
+	if s.Int {
+		v = strconv.FormatInt(int64(s.Value), 10)
+	} else {
+		v = strconv.FormatFloat(s.Value, 'g', -1, 64)
+	}
+	var err error
+	if s.Labels != "" {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", s.Name, s.Labels, v)
+	} else {
+		_, err = fmt.Fprintf(w, "%s %s\n", s.Name, v)
+	}
+	return err
+}
+
+// Counter is a monotonic atomic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add adds n (which must be non-negative) to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) typ() string      { return "counter" }
+func (c *Counter) helpText() string { return c.help }
+func (c *Counter) collect(out []Sample) []Sample {
+	return append(out, Sample{Name: c.name, Value: float64(c.v.Load()), Int: true})
+}
+
+// Gauge is a settable atomic float64 gauge.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return floatFromBits(g.bits.Load()) }
+
+func (g *Gauge) typ() string      { return "gauge" }
+func (g *Gauge) helpText() string { return g.help }
+func (g *Gauge) collect(out []Sample) []Sample {
+	return append(out, Sample{Name: g.name, Value: g.Value()})
+}
+
+// gaugeFunc reads its value from a callback at collection time.
+type gaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+func (g *gaugeFunc) typ() string      { return "gauge" }
+func (g *gaugeFunc) helpText() string { return g.help }
+func (g *gaugeFunc) collect(out []Sample) []Sample {
+	return append(out, Sample{Name: g.name, Value: g.fn()})
+}
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free: one atomic add on the bucket plus a CAS loop on the sum.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Int64 // len(bounds)+1; last is +Inf
+	sumBits    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, floatBits(floatFromBits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (h *Histogram) typ() string      { return "histogram" }
+func (h *Histogram) helpText() string { return h.help }
+func (h *Histogram) collect(out []Sample) []Sample {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out = append(out, Sample{
+			Name:   h.name + "_bucket",
+			Labels: `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`,
+			Value:  float64(cum), Int: true,
+		})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out, Sample{Name: h.name + "_bucket", Labels: `le="+Inf"`, Value: float64(cum), Int: true})
+	out = append(out, Sample{Name: h.name + "_sum", Value: floatFromBits(h.sumBits.Load())})
+	out = append(out, Sample{Name: h.name + "_count", Value: float64(cum), Int: true})
+	return out
+}

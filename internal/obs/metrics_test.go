@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden pins the text exposition format and its stable
+// name-sorted ordering.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Operations performed.")
+	c.Add(41)
+	c.Inc()
+	g := r.NewGauge("test_depth", "Current depth.")
+	g.Set(2.5)
+	r.NewGaugeFunc("test_cores", "Cores available.", func() float64 { return 4 })
+	h := r.NewHistogram("test_sizes", "Sizes observed.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_cores Cores available.
+# TYPE test_cores gauge
+test_cores 4
+# HELP test_depth Current depth.
+# TYPE test_depth gauge
+test_depth 2.5
+# HELP test_ops_total Operations performed.
+# TYPE test_ops_total counter
+test_ops_total 42
+# HELP test_sizes Sizes observed.
+# TYPE test_sizes histogram
+test_sizes_bucket{le="1"} 1
+test_sizes_bucket{le="10"} 3
+test_sizes_bucket{le="+Inf"} 4
+test_sizes_sum 110.5
+test_sizes_count 4
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestRegistryReRegister pins the get-or-create contract: same name
+// and kind share an instance, a kind clash panics.
+func TestRegistryReRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x_total", "x")
+	b := r.NewCounter("x_total", "x")
+	if a != b {
+		t.Error("re-registering a counter returned a new instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "x")
+}
+
+// TestRegistryConcurrent hammers every metric kind from concurrent
+// writers while readers snapshot — the -race leg of CI runs this with
+// the detector on; here we check the totals land exactly.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_ops_total", "ops")
+	g := r.NewGauge("conc_gauge", "g")
+	h := r.NewHistogram("conc_sizes", "sizes", []float64{8, 64, 512})
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+				g.Set(float64(i))
+				h.Observe(float64(i % 1000))
+				if i%512 == 0 {
+					_ = r.Snapshot()
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	var count float64
+	for _, s := range r.Snapshot() {
+		if s.Name == "conc_sizes_count" {
+			count = s.Value
+		}
+	}
+	if count != workers*perWorker {
+		t.Errorf("histogram count = %v, want %d", count, workers*perWorker)
+	}
+}
+
+// TestHistogramSum checks the CAS-folded sum survives concurrency.
+func TestHistogramSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("sum_sizes", "sizes", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, s := range r.Snapshot() {
+		if s.Name == "sum_sizes_sum" && s.Value != 4000 {
+			t.Errorf("sum = %v, want 4000", s.Value)
+		}
+	}
+}

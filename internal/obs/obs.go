@@ -1,0 +1,47 @@
+// Package obs is the live observability substrate: what a run exposes
+// about itself *while it is still going*, as opposed to the post-hoc
+// trace/telemetry/critpath analyses that only exist once a run
+// finishes. It has three parts, designed to cost nothing on the hot
+// paths that feed them:
+//
+//   - A metrics registry (metrics.go): process-global atomic counters,
+//     gauges, and fixed-bucket histograms with a snapshot API and a
+//     Prometheus text-exposition writer. The telemetry debug endpoint
+//     serves it at /metrics; the layers that already have numbers
+//     (par pool/gang stats, flowsim round counts, MPI-IO staging,
+//     render scanlines) register theirs at package init.
+//
+//   - Progress phases (progress.go): named done/total tickers the
+//     long loops advance with one atomic add (zero allocation, nil
+//     and disabled safe), plus a heartbeat goroutine that periodically
+//     logs one structured line per active phase — items done, rate,
+//     ETA — and mirrors the same numbers into /metrics gauges.
+//
+//   - A flight recorder (flight.go): a fixed-size ring of recent
+//     phase/heartbeat/note events and a watchdog that, on
+//     SIGQUIT/SIGTERM or a soft deadline, dumps the ring, all
+//     goroutine stacks, and the current metrics snapshot to a crash
+//     file — so a run killed by a CI timeout leaves a post-mortem
+//     instead of nothing.
+//
+// Everything is process-global on purpose: the producers are library
+// code deep under the CLIs (the flowsim event loop, the render
+// scanline loop, the MPI-IO aggregator staging loop), and threading a
+// handle through every layer would couple them all to this package's
+// lifecycle. Observability reads are best-effort snapshots; the
+// tickers never affect results.
+package obs
+
+import "io"
+
+// WriteMetricsTo writes the full live metrics view in Prometheus text
+// exposition format: every metric in the Default registry followed by
+// the progress gauges of every known phase. This is what the telemetry
+// debug endpoint serves at /metrics and what a flight record embeds as
+// the metrics snapshot.
+func WriteMetricsTo(w io.Writer) error {
+	if err := Default.WritePrometheus(w); err != nil {
+		return err
+	}
+	return writePhaseMetrics(w)
+}

@@ -73,10 +73,27 @@ func (g *Gang) worker(shard int) {
 	}
 }
 
+// gangBusy, gangWall, and gangRuns accumulate, across every gang in
+// the process, shard-execution time, Run-elapsed time, and dispatch
+// count. They are the gang-side counterpart of the pool's Stats —
+// kept separate so perf-report speedup baselines (pool-only) are
+// undisturbed while /metrics can still see rendezvous overhead
+// (wall - busy/width) on the flowsim freeze path.
+var gangBusy, gangWall, gangRuns atomic.Int64
+
+// GangStats returns cumulative shard-busy time, Run-elapsed wall time,
+// and the number of parallel dispatches over every gang so far.
+// Width-1 gangs run inline and are not counted.
+func GangStats() (busy, wall time.Duration, runs int64) {
+	return time.Duration(gangBusy.Load()), time.Duration(gangWall.Load()), gangRuns.Load()
+}
+
 // runShard executes one shard, converting a panic into a recorded
 // first-panic so Run can re-raise it on the caller.
 func (g *Gang) runShard(shard int) {
+	t0 := time.Now()
 	defer func() {
+		gangBusy.Add(int64(time.Since(t0)))
 		if r := recover(); r != nil {
 			buf := make([]byte, 8<<10)
 			buf = buf[:runtime.Stack(buf, false)]
@@ -96,6 +113,7 @@ func (g *Gang) Run(fn func(shard int)) {
 		fn(0)
 		return
 	}
+	start := time.Now()
 	g.fn = fn
 	g.done.Store(0)
 	g.gen.Add(1) // release: workers observe fn after seeing the new gen
@@ -108,6 +126,8 @@ func (g *Gang) Run(fn func(shard int)) {
 		}
 	}
 	g.fn = nil
+	gangWall.Add(int64(time.Since(start)))
+	gangRuns.Add(1)
 	if p := g.pan.Swap(nil); p != nil {
 		panic(fmt.Sprintf("par: gang shard panic: %v\n%s", p.val, p.stack))
 	}

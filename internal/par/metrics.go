@@ -1,0 +1,35 @@
+package par
+
+import "bgpvr/internal/obs"
+
+// The pool and gang accumulators surface as live gauges in the obs
+// default registry, so a run with -debug-addr exposes realized
+// parallelism at /metrics while it is still going — the same numbers
+// the perf report freezes at exit. GaugeFuncs read the atomics on
+// scrape; nothing is added to the pool's hot paths.
+func init() {
+	obs.Default.NewGaugeFunc("bgpvr_par_pool_busy_seconds",
+		"Cumulative worker-busy time across all For/ForErr calls.",
+		func() float64 { b, _ := Stats(); return b.Seconds() })
+	obs.Default.NewGaugeFunc("bgpvr_par_pool_wall_seconds",
+		"Cumulative elapsed time across all For/ForErr calls.",
+		func() float64 { _, w := Stats(); return w.Seconds() })
+	obs.Default.NewGaugeFunc("bgpvr_par_pool_speedup",
+		"Realized parallel speedup (busy/wall) over all pool calls so far.",
+		func() float64 {
+			b, w := Stats()
+			if w <= 0 {
+				return 0
+			}
+			return b.Seconds() / w.Seconds()
+		})
+	obs.Default.NewGaugeFunc("bgpvr_par_gang_busy_seconds",
+		"Cumulative shard-execution time across all gang dispatches.",
+		func() float64 { b, _, _ := GangStats(); return b.Seconds() })
+	obs.Default.NewGaugeFunc("bgpvr_par_gang_wall_seconds",
+		"Cumulative Run-elapsed time across all gang dispatches.",
+		func() float64 { _, w, _ := GangStats(); return w.Seconds() })
+	obs.Default.NewGaugeFunc("bgpvr_par_gang_runs_total",
+		"Parallel gang dispatches so far (width-1 inline runs excluded).",
+		func() float64 { _, _, r := GangStats(); return float64(r) })
+}

@@ -6,6 +6,7 @@ import (
 	"bgpvr/internal/geom"
 	"bgpvr/internal/grid"
 	"bgpvr/internal/img"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/par"
 	"bgpvr/internal/trace"
 	"bgpvr/internal/volume"
@@ -250,12 +251,20 @@ func (j *castJob) castRows(y0, y1 int) int64 {
 			}
 			i++
 		}
+		renderPhase.Add(1) // one scanline done; zero-alloc tick
 	}
 	return samples
 }
 
+// renderPhase feeds the -progress heartbeat: sessions overlap across
+// per-rank RenderBlock calls, so totals accumulate over the whole
+// frame's blocks.
+var renderPhase = obs.GetPhase("render")
+
 func (j *castJob) run() int64 {
 	rows := j.rect.Y1 - j.rect.Y0
+	renderPhase.Start(int64(rows))
+	defer renderPhase.End()
 	w := j.cfg.Workers
 	if w > rows {
 		w = rows

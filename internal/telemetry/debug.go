@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 
 	"bgpvr/internal/critpath"
+	"bgpvr/internal/obs"
+	"bgpvr/internal/par"
 	"bgpvr/internal/trace"
 )
 
@@ -38,6 +40,38 @@ type Snapshot struct {
 	Counters   map[string]int64 `json:"counters,omitempty"`
 	Histograms []HistogramStat  `json:"histograms,omitempty"`
 	Network    *NetworkStat     `json:"network,omitempty"`
+	Parallel   *ParallelSnap    `json:"parallel,omitempty"`
+}
+
+// ParallelSnap is the live pool/gang utilization view inside the
+// /telemetry snapshot — the same accumulators the perf report freezes
+// at exit and /metrics exposes as gauges.
+type ParallelSnap struct {
+	PoolBusySeconds float64 `json:"pool_busy_seconds"`
+	PoolWallSeconds float64 `json:"pool_wall_seconds"`
+	PoolSpeedup     float64 `json:"pool_speedup"`
+	GangBusySeconds float64 `json:"gang_busy_seconds"`
+	GangWallSeconds float64 `json:"gang_wall_seconds"`
+	GangRuns        int64   `json:"gang_runs"`
+}
+
+func parallelSnap() *ParallelSnap {
+	busy, wall := par.Stats()
+	gb, gw, runs := par.GangStats()
+	if wall <= 0 && gw <= 0 && runs == 0 {
+		return nil
+	}
+	ps := &ParallelSnap{
+		PoolBusySeconds: busy.Seconds(),
+		PoolWallSeconds: wall.Seconds(),
+		GangBusySeconds: gb.Seconds(),
+		GangWallSeconds: gw.Seconds(),
+		GangRuns:        runs,
+	}
+	if wall > 0 {
+		ps.PoolSpeedup = busy.Seconds() / wall.Seconds()
+	}
+	return ps
 }
 
 // DebugSource bundles what the debug endpoint serves. Every field is
@@ -87,7 +121,35 @@ func (s *snapshotSource) snapshot() Snapshot {
 		snap.Histograms = r.Histograms
 		snap.Network = r.Network
 	}
+	snap.Parallel = parallelSnap()
 	return snap
+}
+
+// writeTraceMetrics appends the tracer's counter totals to the
+// Prometheus exposition as one labeled counter family.
+func writeTraceMetrics(w io.Writer, t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	tot := t.Totals()
+	fmt.Fprint(w, "# HELP bgpvr_trace_events_total Trace counter totals across all ranks.\n# TYPE bgpvr_trace_events_total counter\n")
+	for c := trace.Counter(0); c < trace.NumCounters; c++ {
+		fmt.Fprintf(w, "bgpvr_trace_events_total{counter=%q} %d\n", c.String(), tot[c])
+	}
+}
+
+// readOnly restricts a view to GET and HEAD: every view the debug
+// endpoint serves is a read, so any other method is a caller bug and
+// answers 405 instead of silently running the handler.
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed; debug views are read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
 }
 
 var (
@@ -98,7 +160,9 @@ var (
 // DebugServer is the opt-in -debug-addr HTTP endpoint: net/http/pprof
 // under /debug/pprof/, expvar under /debug/vars (including a "bgpvr"
 // var with the live telemetry snapshot), the JSON snapshot at
-// /telemetry, and the analysis views /critpath, /fidelity, /runs.
+// /telemetry, Prometheus text metrics at /metrics, and the analysis
+// views /critpath, /fidelity, /runs. All views are read-only: anything
+// but GET/HEAD answers 405.
 type DebugServer struct {
 	Addr string // the bound address (resolves ":0")
 	ln   net.Listener
@@ -129,13 +193,20 @@ func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/telemetry", readOnly(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(src.snapshot())
-	})
-	mux.HandleFunc("/critpath", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/metrics", readOnly(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WriteMetricsTo(w); err != nil {
+			return
+		}
+		writeTraceMetrics(w, ds.Tracer)
+	}))
+	mux.HandleFunc("/critpath", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		if ds.Crit == nil {
 			http.Error(w, "no critical-path source attached (run with -critpath)", http.StatusNotFound)
 			return
@@ -146,8 +217,8 @@ func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
 			return
 		}
 		serveView(w, r, a, a.Text)
-	})
-	mux.HandleFunc("/fidelity", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/fidelity", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		if ds.Fidelity == nil {
 			http.Error(w, "no fidelity source attached (run experiments -exp fidelity)", http.StatusNotFound)
 			return
@@ -158,8 +229,8 @@ func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
 			return
 		}
 		serveView(w, r, f, f.Table)
-	})
-	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/runs", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		if ds.RunsPath == "" {
 			http.Error(w, "no run store attached (run with -run-record)", http.StatusNotFound)
 			return
@@ -172,14 +243,14 @@ func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
 		defer f.Close()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_, _ = io.Copy(w, f)
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry  /critpath  /fidelity  /runs\n")
-	})
+		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry  /metrics  /critpath  /fidelity  /runs\n")
+	}))
 	s := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"bgpvr/internal/critpath"
+	"bgpvr/internal/obs"
+	"bgpvr/internal/par"
 	"bgpvr/internal/trace"
 )
 
@@ -195,6 +197,100 @@ func TestDebugServerFidelity(t *testing.T) {
 	code, body = get(t, base+"/fidelity?text=1")
 	if code != http.StatusOK || !strings.Contains(body, "fig3/best-total") || !strings.Contains(body, "score 0.900") {
 		t.Errorf("text view: status %d body %q", code, body)
+	}
+}
+
+// TestDebugServerMetrics covers the Prometheus view: the obs default
+// registry (including the par pool/gang gauges its init registers),
+// the trace counter family, the exposition content type, and the
+// index line.
+func TestDebugServerMetrics(t *testing.T) {
+	tr := trace.NewVirtual(1)
+	tr.Rank(0).Add(trace.CounterMessages, 7)
+	tr.Rank(0).Add(trace.CounterBytesSent, 4096)
+	obs.Default.NewCounter("bgpvr_debug_test_total", "debug server test").Inc()
+	par.For(2, 4, func(int) {}) // make the pool gauges nonzero
+
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body := string(b)
+	for _, want := range []string{
+		"# TYPE bgpvr_par_pool_speedup gauge",
+		"bgpvr_par_pool_busy_seconds ",
+		"bgpvr_par_gang_runs_total ",
+		"bgpvr_debug_test_total 1",
+		"# TYPE bgpvr_trace_events_total counter",
+		`bgpvr_trace_events_total{counter="messages"} 7`,
+		`bgpvr_trace_events_total{counter="bytes sent"} 4096`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, body := get(t, base+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index missing /metrics: status %d body %q", code, body)
+	}
+
+	// The /telemetry snapshot mirrors the pool/gang accumulators.
+	_, body = get(t, base+"/telemetry")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/telemetry not JSON: %v\n%s", err, body)
+	}
+	if snap.Parallel == nil || snap.Parallel.PoolWallSeconds <= 0 {
+		t.Errorf("snapshot parallel section = %+v", snap.Parallel)
+	}
+}
+
+// TestDebugServerMethodNotAllowed pins the read-only contract: POST
+// (or anything but GET/HEAD) on a view answers 405 with an Allow
+// header instead of running the handler.
+func TestDebugServerMethodNotAllowed(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{Tracer: trace.NewVirtual(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+	for _, path := range []string{"/", "/telemetry", "/metrics", "/critpath", "/fidelity", "/runs"} {
+		resp, err := http.Post(base+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s Allow header %q", path, allow)
+		}
+	}
+	// HEAD stays allowed.
+	resp, err := http.Head(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /metrics status %d, want 200", resp.StatusCode)
 	}
 }
 
