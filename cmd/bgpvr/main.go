@@ -65,11 +65,27 @@ func main() {
 	progressInterval := flag.Duration("progress-interval", obs.DefaultHeartbeatInterval, "heartbeat period for -progress")
 	crashDump := flag.String("crash-dump", "", "write a flight record (recent events, phase progress, metrics, goroutine stacks) to this file on SIGQUIT/SIGTERM or -soft-deadline, then exit")
 	softDeadline := flag.Duration("soft-deadline", 0, "dump the flight record and exit this long after start; set it just below an external kill budget so the run leaves a post-mortem (0 disables)")
+	serveAddr := flag.String("serve", "", "run as a persistent render service on this address (e.g. 127.0.0.1:8080); POST /render, GET /status, /metrics, pprof. Ignores -mode and the one-shot flags")
+	serveConcurrency := flag.Int("serve-concurrency", 0, "frames rendering at once in serve mode (0 = default 2)")
+	serveQueue := flag.Int("serve-queue", 0, "admitted requests waiting beyond the ones in flight before 429 (0 = default 8)")
+	serveDeadline := flag.Duration("serve-deadline", 0, "default per-request deadline in serve mode (0 = 30s)")
+	serveCacheMB := flag.Int("serve-cache-mb", 0, "volume field cache budget in MB (0 = 256)")
+	serveDrain := flag.Duration("serve-drain", 15*time.Second, "how long Shutdown waits for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *progress {
 		hb := obs.StartHeartbeat(slog.New(slog.NewTextHandler(os.Stderr, nil)), *progressInterval)
 		defer hb.Stop()
+	}
+	if *serveAddr != "" {
+		if err := runServe(serveArgs{addr: *serveAddr, concurrency: *serveConcurrency,
+			queue: *serveQueue, deadline: *serveDeadline, cacheMB: *serveCacheMB,
+			drain: *serveDrain, workers: *workers, runRecord: *runRecord,
+			crashDump: *crashDump, softDeadline: *softDeadline}); err != nil {
+			fmt.Fprintln(os.Stderr, "bgpvr:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(runArgs{mode: *mode, n: *n, imgSize: *imgSize, procs: *procs, m: *m,
 		format: *format, path: *path, algo: *algo, persp: *persp, shaded: *shaded,

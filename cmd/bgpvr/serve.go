@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bgpvr/internal/obs"
+	"bgpvr/internal/serve"
+)
+
+// serveArgs carries the parsed -serve* flags.
+type serveArgs struct {
+	addr         string
+	concurrency  int
+	queue        int
+	deadline     time.Duration
+	cacheMB      int
+	drain        time.Duration
+	workers      int
+	runRecord    string
+	crashDump    string
+	softDeadline time.Duration
+}
+
+// runServe runs the persistent render service until SIGINT/SIGTERM,
+// then drains. The service owns the termination signals (they mean
+// "drain", not "crash"), so when the flight recorder is armed it
+// watches SIGQUIT only; a hung drain is still guarded by the
+// recorder's soft deadline.
+func runServe(a serveArgs) error {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if a.crashDump != "" || a.softDeadline > 0 {
+		wd := obs.StartWatchdog(obs.WatchdogConfig{
+			Path:         a.crashDump,
+			SoftDeadline: a.softDeadline,
+			Signals:      []os.Signal{syscall.SIGQUIT},
+		})
+		defer wd.Stop()
+	}
+	s := serve.New(serve.Config{
+		MaxConcurrent:   a.concurrency,
+		QueueDepth:      a.queue,
+		DefaultDeadline: a.deadline,
+		Workers:         a.workers,
+		CacheMB:         a.cacheMB,
+		RunsPath:        a.runRecord,
+		Log:             log,
+	})
+	if err := s.Start(a.addr); err != nil {
+		return err
+	}
+	fmt.Printf("render service: http://%s/ (POST /render, /status, /metrics, pprof)\n", s.Addr())
+	obs.Note("serve mode: addr=%s workers=%d", s.Addr(), a.workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	signal.Stop(sig)
+	log.Info("draining", "signal", got.String(), "timeout", a.drain)
+	ctx, cancel := context.WithTimeout(context.Background(), a.drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Info("drained, exiting")
+	return nil
+}

@@ -4,16 +4,18 @@
 // (messages, bytes, physical accesses, tree ops), imbalance (per-phase
 // max/mean busy-time ratios plus the critical-path duration), fidelity
 // (the paper-fidelity aggregate score dropping or any individual
-// claim's pass/warn/fail status getting worse), and flowsim (the
+// claim's pass/warn/fail status getting worse), flowsim (the
 // clustered contention approximation's observed error growing or
-// breaking its own requested eps bound). CI runs it
+// breaking its own requested eps bound), and service (a render-service
+// load test's p99 latency rising, throughput falling, or error rate
+// climbing at any matched concurrency level). CI runs it
 // against checked-in baselines so a PR that slows a modeled frame
 // down, distributes its load worse, or drifts away from the paper's
 // published curves is visible in the job log.
 //
 // Usage:
 //
-//	perfdiff [-threshold 10] [-only timing|counters|imbalance|fidelity|flowsim|all] [-warn] old.json new.json
+//	perfdiff [-threshold 10] [-only timing|counters|imbalance|fidelity|flowsim|service|all] [-warn] old.json new.json
 //	perfdiff [flags] reports-dir
 //
 // The one-argument form takes a directory of perf reports and diffs
@@ -89,16 +91,16 @@ func newestPair(dir string) (old, new string, err error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
-	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, fidelity, flowsim, all")
+	only := flag.String("only", "all", "metric classes to diff: timing, counters, imbalance, fidelity, flowsim, service, all")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI warn-only mode)")
 	flag.Parse()
 	usage := func() {
-		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|fidelity|flowsim|all] [-warn] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold pct] [-only timing|counters|imbalance|fidelity|flowsim|service|all] [-warn] old.json new.json")
 		fmt.Fprintln(os.Stderr, "       perfdiff [flags] reports-dir   (diffs the two newest reports)")
 		os.Exit(1)
 	}
 	switch *only {
-	case "timing", "counters", "imbalance", "fidelity", "flowsim", "all":
+	case "timing", "counters", "imbalance", "fidelity", "flowsim", "service", "all":
 	default:
 		usage()
 	}
@@ -149,6 +151,9 @@ func main() {
 	}
 	if *only == "all" || *only == "flowsim" {
 		deltas = append(deltas, telemetry.CompareFlowsim(old, cur, th)...)
+	}
+	if *only == "all" || *only == "service" {
+		deltas = append(deltas, telemetry.CompareService(old, cur, th)...)
 	}
 	regressions := 0
 	for _, d := range deltas {

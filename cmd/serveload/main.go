@@ -1,0 +1,308 @@
+// Command serveload load-tests the bgpvr render service. It drives
+// POST /render at one or more steady concurrency levels (a sweep) or
+// at a fixed concurrency for a wall-clock duration (a soak), measures
+// client-observed latency into the same log-bucketed histogram the
+// service uses for /status (obs.Histogram.Quantile), and prints one
+// table row per level: requests, 2xx/429/503 splits, throughput, and
+// p50/p90/p99. With -perf-report it writes a schema-versioned report
+// carrying a service section that perfdiff -only service gates; with
+// -run-record it appends the same report to a runstore registry so
+// perfhistory tracks p99 and throughput across runs.
+//
+// Usage:
+//
+//	serveload -addr 127.0.0.1:8080 -sweep 1,2,4,8 -requests 40
+//	serveload -soak 30s -concurrency 4             (in-process server)
+//
+// With no -addr the harness starts an in-process server on a loopback
+// port — the hermetic mode CI uses, and the quickest way to profile
+// the service without deploying it.
+//
+// Exit status: 0 on success, 1 when -min-2xx or -p99-budget is set
+// and violated, or on setup/usage errors.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpvr/internal/obs"
+	"bgpvr/internal/runstore"
+	"bgpvr/internal/serve"
+	"bgpvr/internal/telemetry"
+)
+
+// point accumulates one concurrency level's outcomes.
+type point struct {
+	ok, rejected, deadline, errs atomic.Int64
+	hist                         *obs.Histogram
+}
+
+// run drives total requests (or, when total<0, keeps going until ctx
+// expires) at the given steady concurrency against url, posting body.
+func (p *point) run(ctx context.Context, client *http.Client, url string, body []byte, concurrency int, total int64) time.Duration {
+	var issued atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if total >= 0 && issued.Add(1) > total {
+					return
+				}
+				t0 := time.Now()
+				code, err := post(ctx, client, url, body)
+				p.hist.Observe(time.Since(t0).Seconds())
+				switch {
+				case err != nil:
+					if ctx.Err() != nil {
+						return // soak cut the request off mid-flight
+					}
+					p.errs.Add(1)
+				case code >= 200 && code < 300:
+					p.ok.Add(1)
+				case code == http.StatusTooManyRequests:
+					p.rejected.Add(1)
+				case code == http.StatusServiceUnavailable:
+					p.deadline.Add(1)
+				default:
+					p.errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// cacheCounters reads the service's field-cache counters from
+// /status; zeros (and false) when the endpoint is unreachable, so the
+// harness degrades gracefully against a non-bgpvr target.
+func cacheCounters(client *http.Client, base string) (hits, misses int64, ok bool) {
+	resp, err := client.Get(base + "/status")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	var st serve.StatusReply
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, false
+	}
+	return st.Cache.FieldHits, st.Cache.FieldMisses, true
+}
+
+func main() {
+	addr := flag.String("addr", "", "service address host:port (empty: start an in-process server)")
+	sweepArg := flag.String("sweep", "1,2,4", "comma-separated concurrency levels to sweep")
+	requests := flag.Int("requests", 20, "requests per sweep level")
+	soak := flag.Duration("soak", 0, "soak duration; nonzero switches from sweep to a single soak point")
+	concurrency := flag.Int("concurrency", 4, "soak concurrency")
+	mode := flag.String("mode", "real", "render mode: real or model")
+	n := flag.Int("n", 32, "volume edge (n^3 voxels)")
+	img := flag.Int("img", 0, "image edge (0: 2n)")
+	procs := flag.Int("procs", 4, "rank count")
+	deadlineMS := flag.Int64("deadline-ms", 0, "per-request deadline (0: server default)")
+	skipEmpty := flag.Bool("skip-empty", false, "request empty-space skipping (exercises the mask cache)")
+	p99Budget := flag.Duration("p99-budget", 0, "fail (exit 1) when any level's p99 exceeds this")
+	min2xx := flag.Int64("min-2xx", 0, "fail (exit 1) when fewer than this many requests succeed overall")
+	perfReport := flag.String("perf-report", "", "write the load-test perf report (JSON) here")
+	runRecord := flag.String("run-record", "", "append the report to this runstore registry (JSONL)")
+	timestamp := flag.String("timestamp", "", "RFC3339 timestamp for the run record (default: now)")
+	serveConc := flag.Int("serve-concurrency", 0, "in-process server: max concurrent frames")
+	serveQueue := flag.Int("serve-queue", 0, "in-process server: queue depth")
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+
+	var levels []int
+	if *soak > 0 {
+		levels = []int{*concurrency}
+	} else {
+		for _, part := range strings.Split(*sweepArg, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || c < 1 {
+				fail(fmt.Errorf("bad -sweep level %q", part))
+			}
+			levels = append(levels, c)
+		}
+	}
+
+	target := *addr
+	if target == "" {
+		// Hermetic mode: the server lives in this process on a loopback
+		// port. Client-observed latency still crosses a real TCP socket.
+		s := serve.New(serve.Config{
+			MaxConcurrent: *serveConc,
+			QueueDepth:    *serveQueue,
+			// The harness table is the output; drop the server's
+			// per-request access lines.
+			Log: slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError})),
+		})
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			fail(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		}()
+		target = s.Addr()
+	}
+	base := "http://" + target
+	body, err := json.Marshal(serve.RenderRequest{
+		Mode: *mode, N: *n, Img: *img, Procs: *procs,
+		DeadlineMS: *deadlineMS, SkipEmptySpace: *skipEmpty,
+	})
+	if err != nil {
+		fail(err)
+	}
+	client := &http.Client{}
+
+	kind := "sweep"
+	if *soak > 0 {
+		kind = "soak"
+	}
+	statTarget := *addr
+	if statTarget == "" {
+		statTarget = "in-process"
+	}
+	stat := &telemetry.ServiceStat{Mode: kind, Target: statTarget}
+	reg := obs.NewRegistry()
+	// The same log-2 buckets the service's /status quantiles use, so
+	// client- and server-side percentiles are directly comparable.
+	buckets := obs.ExpBuckets(0.001, 2, 15)
+
+	fmt.Printf("serveload: %s against %s (%s mode, n=%d, procs=%d)\n", kind, base, *mode, *n, *procs)
+	fmt.Printf("%5s %9s %7s %7s %7s %7s %9s %9s %9s %9s %9s\n",
+		"conc", "requests", "2xx", "429", "503", "err", "rps", "mean_ms", "p50_ms", "p90_ms", "p99_ms")
+	var total2xx int64
+	var budgetViolations []string
+	for i, c := range levels {
+		p := &point{hist: reg.NewHistogram(fmt.Sprintf("serveload_latency_%d", i),
+			"Client-observed request latency.", buckets)}
+		h0, m0, haveCache := cacheCounters(client, base)
+		ctx := context.Background()
+		totalReqs := int64(*requests)
+		if *soak > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *soak)
+			totalReqs = -1
+			defer cancel()
+		}
+		elapsed := p.run(ctx, client, base+"/render", body, c, totalReqs)
+
+		count := p.hist.Count()
+		if *soak > 0 {
+			// Latency observations include the requests the soak cut off;
+			// only completed ones count toward the outcome columns.
+			count = p.ok.Load() + p.rejected.Load() + p.deadline.Load() + p.errs.Load()
+		}
+		sp := telemetry.ServicePoint{
+			Concurrency: c,
+			Requests:    count,
+			OK:          p.ok.Load(),
+			Rejected:    p.rejected.Load(),
+			Deadline:    p.deadline.Load(),
+			Errors:      p.errs.Load(),
+			DurationSec: elapsed.Seconds(),
+		}
+		if sp.DurationSec > 0 {
+			sp.RPS = float64(sp.OK) / sp.DurationSec
+		}
+		if nObs := p.hist.Count(); nObs > 0 {
+			sp.MeanMs = p.hist.Sum() / float64(nObs) * 1e3
+			sp.P50Ms = p.hist.Quantile(0.5) * 1e3
+			sp.P90Ms = p.hist.Quantile(0.9) * 1e3
+			sp.P99Ms = p.hist.Quantile(0.99) * 1e3
+		}
+		if h1, m1, ok := cacheCounters(client, base); ok && haveCache {
+			sp.CacheHits, sp.CacheMisses = h1-h0, m1-m0
+		}
+		stat.Points = append(stat.Points, sp)
+		total2xx += sp.OK
+		fmt.Printf("%5d %9d %7d %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			c, sp.Requests, sp.OK, sp.Rejected, sp.Deadline, sp.Errors,
+			sp.RPS, sp.MeanMs, sp.P50Ms, sp.P90Ms, sp.P99Ms)
+		if *p99Budget > 0 && sp.P99Ms > float64(p99Budget.Milliseconds()) {
+			budgetViolations = append(budgetViolations,
+				fmt.Sprintf("c=%d p99 %.2fms > budget %v", c, sp.P99Ms, *p99Budget))
+		}
+	}
+
+	rep := telemetry.NewReport("serveload")
+	rep.Config = map[string]string{
+		"kind":   kind,
+		"target": statTarget,
+		"mode":   *mode,
+		"n":      strconv.Itoa(*n),
+		"procs":  strconv.Itoa(*procs),
+		"sweep":  *sweepArg,
+	}
+	rep.Service = stat
+	if *perfReport != "" {
+		if err := rep.WriteFile(*perfReport); err != nil {
+			fail(err)
+		}
+		fmt.Printf("perf report: %s\n", *perfReport)
+	}
+	if *runRecord != "" {
+		ts := *timestamp
+		if ts == "" {
+			ts = time.Now().UTC().Format(time.RFC3339)
+		}
+		if err := runstore.Append(*runRecord, runstore.NewRecord(rep, runstore.GitRev(), ts)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("run record: %s\n", *runRecord)
+	}
+
+	failed := false
+	if *min2xx > 0 && total2xx < *min2xx {
+		fmt.Fprintf(os.Stderr, "serveload: FAIL: %d requests succeeded, need %d\n", total2xx, *min2xx)
+		failed = true
+	}
+	for _, v := range budgetViolations {
+		fmt.Fprintf(os.Stderr, "serveload: FAIL: %s\n", v)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

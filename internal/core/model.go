@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -11,6 +12,7 @@ import (
 	"bgpvr/internal/iotrace"
 	"bgpvr/internal/machine"
 	"bgpvr/internal/mpiio"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/pfs"
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
@@ -23,6 +25,11 @@ import (
 // ModelConfig configures a model-mode (virtual-time) frame at paper
 // scale.
 type ModelConfig struct {
+	// Ctx, when non-nil, bounds the modeled frame: cancellation is
+	// checked between the analytic stages (a huge modeled partition can
+	// take real time), and a WithRequestID identifier is noted in the
+	// flight ring. nil means context.Background().
+	Ctx   context.Context
 	Scene Scene
 	Procs int
 	// Compositors is direct-send's m; 0 applies the paper's improved
@@ -96,6 +103,13 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 	if m > cfg.Procs {
 		return nil, fmt.Errorf("core: Compositors %d > Procs %d", m, cfg.Procs)
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		obs.Note("frame start: request %s (model, procs=%d)", id, cfg.Procs)
+	}
 	s := cfg.Scene
 	d := grid.NewDecomp(s.Dims, cfg.Procs)
 	res := &ModelResult{}
@@ -137,6 +151,10 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 		res.ReadBW = float64(res.IO.UsefulBytes) / res.Times.IO
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: modeled frame canceled before render: %w", err)
+	}
+
 	// Stage 2: rendering. Per-block sample counts come from the
 	// geometric estimate (block volume over pixel-ray density for the
 	// orthographic experiment camera), and the stage time is the
@@ -158,6 +176,10 @@ func RunModel(cfg ModelConfig) (*ModelResult, error) {
 	}
 	res.SampleBalance = sampleSum.Imbalance()
 	res.Times.Render = float64(maxSamples) * mach.SecondsPerSample
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: modeled frame canceled before composite: %w", err)
+	}
 
 	// Stage 3: compositing. Every block's projected rectangle yields
 	// the exact direct-send message schedule, timed on the torus model.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"bgpvr/internal/iotrace"
 	"bgpvr/internal/mpiio"
 	"bgpvr/internal/netcdf"
+	"bgpvr/internal/obs"
 	"bgpvr/internal/rawfmt"
 	"bgpvr/internal/render"
 	"bgpvr/internal/stats"
@@ -39,6 +41,12 @@ const (
 
 // RealConfig configures a real-mode end-to-end frame.
 type RealConfig struct {
+	// Ctx, when non-nil, bounds the frame: cancellation (a deadline, a
+	// dropped client) is checked at every stage boundary in each rank,
+	// so an abandoned frame stops within one stage instead of running
+	// to completion. A request ID attached via WithRequestID is noted
+	// in the flight ring. nil means context.Background().
+	Ctx   context.Context
 	Scene Scene
 	Procs int
 	// Compositors is direct-send's m; 0 means m = Procs (the "original"
@@ -84,6 +92,16 @@ type RealConfig struct {
 	// Create with critpath.NewRecorder(Trace, hint); nil costs
 	// nothing.
 	CritPath *critpath.Recorder
+	// Fields, when non-nil, caches synthesized block fields across
+	// frames (FormatGenerate only — on-disk reads go through the
+	// MPI-IO path untouched, and GhostExchange mutates fields so it
+	// also bypasses the cache). The render service supplies one so
+	// repeated requests for the same scene skip regeneration.
+	Fields FieldCache
+	// Masks, when non-nil, is passed through to the renderers so
+	// macrocell opacity masks are reused across frames (see
+	// render.Config.MaskCache).
+	Masks render.MaskCache
 }
 
 // RealResult is the outcome of one real-mode frame.
@@ -105,6 +123,13 @@ type RealResult struct {
 func RunReal(cfg RealConfig) (*RealResult, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("core: Procs must be >= 1")
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if id := RequestIDFrom(ctx); id != "" {
+		obs.Note("frame start: request %s (real, procs=%d)", id, cfg.Procs)
 	}
 	m := cfg.Compositors
 	if m <= 0 {
@@ -133,6 +158,7 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 	cam := s.Camera()
 	tf := s.Transfer()
 	rcfg := s.RenderConfig()
+	rcfg.MaskCache = cfg.Masks
 	order := s.FrontToBack(d)
 	rects := make([]img.Rect, nblocks)
 	for b := range rects {
@@ -178,6 +204,12 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 			myBlocks = append(myBlocks, b)
 		}
 
+		// All ranks share ctx, so each cancellation check below resolves
+		// identically on every rank: either all continue to the next
+		// barrier or all return, never a mismatched barrier count.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: frame canceled before io: %w", err)
+		}
 		c.Barrier()
 		if rank == 0 {
 			t0 = time.Now()
@@ -197,7 +229,19 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 				readExt = own
 			}
 			if cfg.Format == FormatGenerate {
-				fields[i] = s.Supernova().Generate(s.Variable, s.Dims, readExt)
+				gen := func() *volume.Field {
+					return s.Supernova().Generate(s.Variable, s.Dims, readExt)
+				}
+				// GhostExchange mutates the field in place below, so a
+				// shared cached copy would be corrupted — bypass.
+				if cfg.Fields != nil && !cfg.GhostExchange {
+					fields[i] = cfg.Fields.Get(FieldKey{
+						Variable: s.Variable, Dims: s.Dims, Ext: readExt,
+						Seed: s.Seed, Time: s.Time,
+					}, gen)
+				} else {
+					fields[i] = gen()
+				}
 				continue
 			}
 			runs, err := lay.runsFor(readExt)
@@ -235,6 +279,9 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 			t1 = time.Now()
 			world.ResetStats()
 		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: frame canceled before render: %w", err)
+		}
 		c.Barrier() // ensure ResetStats happens before compositing traffic
 
 		// Stage 2: rendering (no communication).
@@ -255,6 +302,9 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 		if rank == 0 {
 			t2 = time.Now()
 			world.ResetStats() // barrier traffic is not compositing traffic
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: frame canceled before composite: %w", err)
 		}
 		c.Barrier()
 

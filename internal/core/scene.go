@@ -49,6 +49,11 @@ type Scene struct {
 	// it reaches the renderers via RenderConfig. Output is bit-identical
 	// at every width.
 	RenderWorkers int
+	// SkipEmptySpace enables macrocell empty-space skipping (see
+	// render.Config.SkipEmptySpace; bit-identical output, fewer
+	// samples). MacrocellSize 0 keeps the renderer's default edge.
+	SkipEmptySpace bool
+	MacrocellSize  int
 }
 
 // DefaultScene returns the standard experiment scene: an n^3 volume of
@@ -125,7 +130,8 @@ func (s Scene) RenderConfig() render.Config {
 	if step <= 0 {
 		step = 1
 	}
-	return render.Config{Step: step, Shade: render.Shading{Enabled: s.Shaded}, Workers: s.RenderWorkers}
+	return render.Config{Step: step, Shade: render.Shading{Enabled: s.Shaded},
+		Workers: s.RenderWorkers, SkipEmptySpace: s.SkipEmptySpace, MacrocellSize: s.MacrocellSize}
 }
 
 // FrontToBack returns the block visibility order for p blocks.

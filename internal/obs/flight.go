@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -73,6 +74,28 @@ func Note(format string, args ...any) {
 	FlightRing.Record("note", fmt.Sprintf(format, args...))
 }
 
+// shuttingDown marks an orderly, operator-initiated shutdown in
+// progress (BeginShutdown). The watchdog consults it so a drain's
+// SIGTERM is noted instead of treated as a crash.
+var shuttingDown atomic.Bool
+
+// BeginShutdown marks the process as shutting down on purpose: the
+// fact lands in the flight ring, and any armed watchdog stops treating
+// termination signals as crashes (they are expected while a server
+// drains). Call it from the signal handler that starts a graceful
+// drain. It is idempotent.
+func BeginShutdown(reason string) {
+	if shuttingDown.CompareAndSwap(false, true) {
+		FlightRing.Record("note", "shutdown in progress: "+reason)
+	}
+}
+
+// ShuttingDown reports whether BeginShutdown has been called.
+func ShuttingDown() bool { return shuttingDown.Load() }
+
+// resetShutdown reverts BeginShutdown, for tests.
+func resetShutdown() { shuttingDown.Store(false) }
+
 // WriteFlightRecord writes the full post-mortem view: the ring's
 // recent events, every phase's progress, the live metrics snapshot,
 // and all goroutine stacks. It is what the watchdog dumps to the crash
@@ -80,6 +103,9 @@ func Note(format string, args ...any) {
 func WriteFlightRecord(w io.Writer, reason string) {
 	fmt.Fprintf(w, "bgpvr flight record: %s\nwritten: %s\n", reason,
 		time.Now().Format(time.RFC3339Nano))
+	if ShuttingDown() {
+		fmt.Fprintln(w, "note: shutdown in progress — this record reflects an orderly drain, not a crash")
+	}
 
 	fmt.Fprintf(w, "\n== recent events (oldest first) ==\n")
 	evs := FlightRing.Events()
@@ -141,6 +167,11 @@ type WatchdogConfig struct {
 	// Exit overrides os.Exit, for tests. The triggered watchdog calls
 	// it exactly once and then stands down.
 	Exit func(code int)
+	// Signals overrides which signals trigger a dump (default SIGQUIT
+	// and SIGTERM). A server that owns SIGTERM for graceful draining
+	// arms the watchdog with SIGQUIT only, so a drain is never
+	// mistaken for a crash.
+	Signals []os.Signal
 }
 
 // Watchdog dumps a flight record when the process receives SIGQUIT or
@@ -167,20 +198,36 @@ func StartWatchdog(cfg WatchdogConfig) *Watchdog {
 		cfg.Exit = os.Exit
 	}
 	w := &Watchdog{cfg: cfg, sig: make(chan os.Signal, 2), stop: make(chan struct{})}
-	signal.Notify(w.sig, syscall.SIGQUIT, syscall.SIGTERM)
+	sigs := cfg.Signals
+	if len(sigs) == 0 {
+		sigs = []os.Signal{syscall.SIGQUIT, syscall.SIGTERM}
+	}
+	signal.Notify(w.sig, sigs...)
 	var deadline <-chan time.Time
 	if cfg.SoftDeadline > 0 {
 		t := time.NewTimer(cfg.SoftDeadline)
 		deadline = t.C
 	}
 	go func() {
-		select {
-		case <-w.stop:
-			return
-		case s := <-w.sig:
-			w.trigger(fmt.Sprintf("signal %v", s))
-		case <-deadline:
-			w.trigger(fmt.Sprintf("soft deadline %v elapsed", w.cfg.SoftDeadline))
+		for {
+			select {
+			case <-w.stop:
+				return
+			case s := <-w.sig:
+				if ShuttingDown() {
+					// An orderly drain is in progress: the signal is the
+					// shutdown, not a crash. Note it and keep watching (the
+					// soft deadline still guards a drain that hangs).
+					FlightRing.Record("watchdog",
+						fmt.Sprintf("signal %v during shutdown in progress (no dump)", s))
+					continue
+				}
+				w.trigger(fmt.Sprintf("signal %v", s))
+				return
+			case <-deadline:
+				w.trigger(fmt.Sprintf("soft deadline %v elapsed", w.cfg.SoftDeadline))
+				return
+			}
 		}
 	}()
 	return w

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -145,4 +146,97 @@ func TestWatchdogStop(t *testing.T) {
 	}
 	var nilW *Watchdog
 	nilW.Stop() // must not panic
+}
+
+// TestWatchdogShutdownInProgress pins the graceful-drain contract: a
+// termination signal arriving after BeginShutdown is noted in the
+// flight ring instead of dumping a crash record, and the watchdog
+// keeps watching (the soft deadline still guards a hung drain).
+func TestWatchdogShutdownInProgress(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGTERM delivery on windows")
+	}
+	defer resetShutdown()
+	path := filepath.Join(t.TempDir(), "crash.txt")
+	exited := make(chan int, 1)
+	w := StartWatchdog(WatchdogConfig{
+		Path: path,
+		Exit: func(code int) { exited <- code },
+	})
+	defer w.Stop()
+
+	BeginShutdown("test drain")
+	if !ShuttingDown() {
+		t.Fatal("ShuttingDown false after BeginShutdown")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The note must land in the ring; the watchdog must NOT exit.
+	deadline := time.After(5 * time.Second)
+	for {
+		noted := false
+		for _, e := range FlightRing.Events() {
+			if e.Kind == "watchdog" && strings.Contains(e.Msg, "shutdown in progress") {
+				noted = true
+			}
+		}
+		if noted {
+			break
+		}
+		select {
+		case code := <-exited:
+			t.Fatalf("watchdog exited (code %d) during an orderly shutdown", code)
+		case <-deadline:
+			t.Fatal("shutdown-in-progress note never reached the flight ring")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("watchdog exited (code %d) during an orderly shutdown", code)
+	default:
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Error("crash file written during an orderly shutdown")
+	}
+
+	// The flight record header flags the drain.
+	var b strings.Builder
+	WriteFlightRecord(&b, "test")
+	if !strings.Contains(b.String(), "orderly drain") {
+		t.Error("flight record header missing the shutdown-in-progress note")
+	}
+}
+
+// TestWatchdogCustomSignals pins WatchdogConfig.Signals: a watchdog
+// armed with SIGQUIT only ignores SIGTERM entirely (a serve-mode drain
+// owns it).
+func TestWatchdogCustomSignals(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no signal delivery on windows")
+	}
+	path := filepath.Join(t.TempDir(), "crash.txt")
+	exited := make(chan int, 1)
+	w := StartWatchdog(WatchdogConfig{
+		Path:    path,
+		Exit:    func(code int) { exited <- code },
+		Signals: []os.Signal{syscall.SIGQUIT},
+	})
+	defer w.Stop()
+	// SIGTERM is not in the set — deliver it to a handler of our own so
+	// the default terminate action doesn't kill the test binary.
+	other := make(chan os.Signal, 1)
+	signal.Notify(other, syscall.SIGTERM)
+	defer signal.Stop(other)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	<-other
+	select {
+	case code := <-exited:
+		t.Fatalf("SIGQUIT-only watchdog reacted to SIGTERM (exit %d)", code)
+	case <-time.After(100 * time.Millisecond):
+	}
 }

@@ -166,6 +166,7 @@ func writeSample(w io.Writer, s Sample) error {
 // Counter is a monotonic atomic counter.
 type Counter struct {
 	name, help string
+	labels     string // rendered label list when part of a CounterVec
 	v          atomic.Int64
 }
 
@@ -181,7 +182,7 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 func (c *Counter) typ() string      { return "counter" }
 func (c *Counter) helpText() string { return c.help }
 func (c *Counter) collect(out []Sample) []Sample {
-	return append(out, Sample{Name: c.name, Value: float64(c.v.Load()), Int: true})
+	return append(out, Sample{Name: c.name, Labels: c.labels, Value: float64(c.v.Load()), Int: true})
 }
 
 // Gauge is a settable atomic float64 gauge.
@@ -214,10 +215,179 @@ func (g *gaugeFunc) collect(out []Sample) []Sample {
 	return append(out, Sample{Name: g.name, Value: g.fn()})
 }
 
+// Labels renders alternating key, value pairs as a Prometheus label
+// list without braces (`endpoint="/render",code="200"`), quoting the
+// values. It is how callers build the label argument of the Vec
+// families' With.
+func Labels(kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: Labels needs alternating key, value pairs")
+	}
+	var b []byte
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, kv[i]...)
+		b = append(b, '=')
+		b = strconv.AppendQuote(b, kv[i+1])
+	}
+	return string(b)
+}
+
+// CounterVec is a family of counters sharing one name and help text,
+// distinguished by a rendered label list (see Labels). With is
+// get-or-create and returns a plain *Counter, so hot paths resolve
+// their child once and pay only the atomic add.
+type CounterVec struct {
+	name, help string
+	mu         sync.Mutex
+	children   map[string]*Counter
+}
+
+// NewCounterVec registers (or returns) the named counter family.
+func (r *Registry) NewCounterVec(name, help string) *CounterVec {
+	m := r.register(name, "counter", func() metric {
+		return &CounterVec{name: name, help: help, children: map[string]*Counter{}}
+	})
+	v, ok := m.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a plain counter, not a family", name))
+	}
+	return v
+}
+
+// With returns the child counter for the rendered label list.
+func (v *CounterVec) With(labels string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[labels]
+	if !ok {
+		c = &Counter{name: v.name, labels: labels}
+		v.children[labels] = c
+	}
+	return c
+}
+
+// Each calls f for every child in label order — how a status page
+// enumerates per-endpoint counters without knowing the labels upfront.
+func (v *CounterVec) Each(f func(labels string, c *Counter)) {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.children))
+	for l := range v.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	children := make([]*Counter, len(labels))
+	for i, l := range labels {
+		children[i] = v.children[l]
+	}
+	v.mu.Unlock()
+	for i, l := range labels {
+		f(l, children[i])
+	}
+}
+
+func (v *CounterVec) typ() string      { return "counter" }
+func (v *CounterVec) helpText() string { return v.help }
+func (v *CounterVec) collect(out []Sample) []Sample {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.children))
+	for l := range v.children {
+		labels = append(labels, l)
+	}
+	children := make([]*Counter, len(labels))
+	sort.Strings(labels)
+	for i, l := range labels {
+		children[i] = v.children[l]
+	}
+	v.mu.Unlock()
+	for _, c := range children {
+		out = c.collect(out)
+	}
+	return out
+}
+
+// HistogramVec is a family of fixed-bucket histograms sharing one
+// name, help text, and bucket layout, distinguished by a rendered
+// label list (see Labels).
+type HistogramVec struct {
+	name, help string
+	bounds     []float64
+	mu         sync.Mutex
+	children   map[string]*Histogram
+}
+
+// NewHistogramVec registers (or returns) the named histogram family.
+// bounds are ascending upper bounds shared by every child.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64) *HistogramVec {
+	m := r.register(name, "histogram", func() metric {
+		return &HistogramVec{name: name, help: help,
+			bounds: append([]float64(nil), bounds...), children: map[string]*Histogram{}}
+	})
+	v, ok := m.(*HistogramVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a plain histogram, not a family", name))
+	}
+	return v
+}
+
+// With returns the child histogram for the rendered label list.
+func (v *HistogramVec) With(labels string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[labels]
+	if !ok {
+		h = &Histogram{name: v.name, labels: labels, bounds: v.bounds}
+		h.counts = make([]atomic.Int64, len(v.bounds)+1)
+		v.children[labels] = h
+	}
+	return h
+}
+
+// Each calls f for every child in label order.
+func (v *HistogramVec) Each(f func(labels string, h *Histogram)) {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.children))
+	for l := range v.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	children := make([]*Histogram, len(labels))
+	for i, l := range labels {
+		children[i] = v.children[l]
+	}
+	v.mu.Unlock()
+	for i, l := range labels {
+		f(l, children[i])
+	}
+}
+
+func (v *HistogramVec) typ() string      { return "histogram" }
+func (v *HistogramVec) helpText() string { return v.help }
+func (v *HistogramVec) collect(out []Sample) []Sample {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.children))
+	for l := range v.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	children := make([]*Histogram, len(labels))
+	for i, l := range labels {
+		children[i] = v.children[l]
+	}
+	v.mu.Unlock()
+	for _, h := range children {
+		out = h.collect(out)
+	}
+	return out
+}
+
 // Histogram counts observations into fixed buckets. Observe is
 // lock-free: one atomic add on the bucket plus a CAS loop on the sum.
 type Histogram struct {
 	name, help string
+	labels     string // rendered label list when part of a HistogramVec
 	bounds     []float64
 	counts     []atomic.Int64 // len(bounds)+1; last is +Inf
 	sumBits    atomic.Uint64
@@ -235,21 +405,102 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return floatFromBits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by monotone linear interpolation over the cumulative
+// distribution: the quantile rank is located in its bucket and
+// interpolated linearly between the bucket's bounds, so estimates are
+// non-decreasing in q and exact at bucket edges. The first bucket
+// interpolates from zero (observations are assumed non-negative, which
+// holds for the durations and sizes this package tracks). A rank
+// landing in the +Inf overflow bucket returns the highest finite
+// bound — the histogram cannot resolve beyond it. Returns NaN on an
+// empty histogram, when the histogram has no finite buckets, or when q
+// is outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	// Snapshot the counts once so a concurrent Observe cannot tear the
+	// cumulative walk.
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts[:len(counts)-1] {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	// The rank lands in the +Inf overflow bucket.
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// growing by factor — the standard log-spaced latency layout. It
+// panics on a non-positive start, a factor <= 1, or n < 1: bucket
+// layouts are compile-time decisions, not runtime conditions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 func (h *Histogram) typ() string      { return "histogram" }
 func (h *Histogram) helpText() string { return h.help }
 func (h *Histogram) collect(out []Sample) []Sample {
+	prefix := ""
+	if h.labels != "" {
+		prefix = h.labels + ","
+	}
 	var cum int64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
 		out = append(out, Sample{
 			Name:   h.name + "_bucket",
-			Labels: `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`,
+			Labels: prefix + `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`,
 			Value:  float64(cum), Int: true,
 		})
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	out = append(out, Sample{Name: h.name + "_bucket", Labels: `le="+Inf"`, Value: float64(cum), Int: true})
-	out = append(out, Sample{Name: h.name + "_sum", Value: floatFromBits(h.sumBits.Load())})
-	out = append(out, Sample{Name: h.name + "_count", Value: float64(cum), Int: true})
+	out = append(out, Sample{Name: h.name + "_bucket", Labels: prefix + `le="+Inf"`, Value: float64(cum), Int: true})
+	out = append(out, Sample{Name: h.name + "_sum", Labels: h.labels, Value: floatFromBits(h.sumBits.Load())})
+	out = append(out, Sample{Name: h.name + "_count", Labels: h.labels, Value: float64(cum), Int: true})
 	return out
 }

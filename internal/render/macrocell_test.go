@@ -2,6 +2,7 @@ package render
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"bgpvr/internal/geom"
@@ -145,5 +146,62 @@ func TestRenderBlockWithSkipping(t *testing.T) {
 				t.Fatalf("block %d pixel %d differs", r, i)
 			}
 		}
+	}
+}
+
+// countingMaskCache is a minimal MaskCache for tests.
+type countingMaskCache struct {
+	mu           sync.Mutex
+	m            map[*volume.Field]*OpacityMask
+	hits, misses int
+}
+
+func (c *countingMaskCache) Get(f *volume.Field, build func() *OpacityMask) *OpacityMask {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[*volume.Field]*OpacityMask{}
+	}
+	if mk, ok := c.m[f]; ok {
+		c.hits++
+		return mk
+	}
+	c.misses++
+	mk := build()
+	c.m[f] = mk
+	return mk
+}
+
+// TestMaskCacheReuse pins Config.MaskCache: the second render of the
+// same field hits instead of rebuilding, the image stays bit-identical
+// to the uncached render, and a config without SkipEmptySpace never
+// touches the cache.
+func TestMaskCacheReuse(t *testing.T) {
+	dims := grid.Cube(24)
+	sn := volume.Supernova{Seed: 13, Time: 1.3}
+	f := sn.GenerateFull(volume.VarVelocityX, dims)
+	tf := volume.SupernovaTransfer()
+	cam := centeredPersp(24, 40, 40)
+	cfg := Config{Step: 0.6, SkipEmptySpace: true, MacrocellSize: 4}
+	base, _ := RenderFull(f, cam, tf, cfg)
+
+	cache := &countingMaskCache{}
+	cfg.MaskCache = cache
+	for pass := 0; pass < 2; pass++ {
+		got, _ := RenderFull(f, cam, tf, cfg)
+		for i := range base.Pix {
+			if base.Pix[i] != got.Pix[i] {
+				t.Fatalf("pass %d: pixel %d differs with mask cache", pass, i)
+			}
+		}
+	}
+	if cache.misses != 1 || cache.hits != 1 {
+		t.Errorf("mask cache: %d misses %d hits, want 1/1", cache.misses, cache.hits)
+	}
+
+	off := Config{Step: 0.6, MaskCache: cache}
+	RenderFull(f, cam, tf, off)
+	if cache.misses != 1 || cache.hits != 1 {
+		t.Errorf("SkipEmptySpace off touched the cache: %d misses %d hits", cache.misses, cache.hits)
 	}
 }

@@ -53,6 +53,20 @@ type Config struct {
 	// one interpolation cell from the block face, so probes reach up to
 	// 1+gradStep lattice units outside the owned region.
 	Shade Shading
+	// MaskCache, when non-nil, memoizes macrocell opacity masks across
+	// renders of the same field (only consulted when SkipEmptySpace is
+	// on). A long-lived caller rendering the same blocks repeatedly —
+	// the frame service — supplies one; batch runs leave it nil and
+	// rebuild per frame as before.
+	MaskCache MaskCache
+}
+
+// MaskCache memoizes opacity masks keyed by the field they classify.
+// Get returns the cached mask for f or, on a miss, calls build, stores
+// the result, and returns it. Implementations must be safe for
+// concurrent use; masks are immutable after construction.
+type MaskCache interface {
+	Get(f *volume.Field, build func() *OpacityMask) *OpacityMask
 }
 
 // GhostLayersFor returns the halo width a configuration needs for exact
@@ -294,7 +308,11 @@ func buildMask(f *volume.Field, tf *volume.Transfer, cfg Config) *OpacityMask {
 	if size <= 0 {
 		size = 8
 	}
-	return BuildOpacityMask(BuildMinMax(f, size), tf)
+	build := func() *OpacityMask { return BuildOpacityMask(BuildMinMax(f, size), tf) }
+	if cfg.MaskCache != nil {
+		return cfg.MaskCache.Get(f, build)
+	}
+	return build()
 }
 
 // RenderFull renders the whole volume serially — the reference the

@@ -1,6 +1,7 @@
 package runstore
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -12,7 +13,7 @@ import (
 // is index-aligned with the record list.
 type Series struct {
 	Name   string
-	Unit   string // "s", "ratio", "score", "count"
+	Unit   string // "s", "ratio", "score", "count", "rate"
 	Values []float64
 }
 
@@ -39,9 +40,10 @@ func (s Series) Last() float64 {
 
 // Metrics extracts the tracked metric series from the records: total
 // frame time, each phase's mean time, each phase's imbalance factor,
-// the critical-path duration, and the aggregate fidelity score.
-// Metric order is deterministic: the fixed metrics first, then phase
-// metrics sorted by name.
+// the critical-path duration, the aggregate fidelity score, and — for
+// records carrying a render-service load test — each concurrency
+// level's p99 latency and throughput. Metric order is deterministic:
+// the fixed metrics first, then phase metrics sorted by name.
 func Metrics(recs []Record) []Series {
 	n := len(recs)
 	blank := func(name, unit string) *Series {
@@ -56,6 +58,7 @@ func Metrics(recs []Record) []Series {
 	fidelity := blank("fidelity score", "score")
 	phase := map[string]*Series{}
 	imbal := map[string]*Series{}
+	service := map[string]*Series{}
 	for i, rec := range recs {
 		r := rec.Report
 		if r == nil {
@@ -86,9 +89,24 @@ func Metrics(recs []Record) []Series {
 			}
 			s.Values[i] = p.Imbalance
 		}
+		if r.Service != nil {
+			put := func(name, unit string, v float64) {
+				s, ok := service[name]
+				if !ok {
+					s = blank(name, unit)
+					service[name] = s
+				}
+				s.Values[i] = v
+			}
+			for _, p := range r.Service.Points {
+				tag := fmt.Sprintf("service c=%d ", p.Concurrency)
+				put(tag+"p99_sec", "s", p.P99Ms/1e3)
+				put(tag+"rps", "rate", p.RPS)
+			}
+		}
 	}
 	out := []Series{*total, *fidelity, *critpath}
-	for _, m := range []map[string]*Series{phase, imbal} {
+	for _, m := range []map[string]*Series{phase, imbal, service} {
 		names := make([]string, 0, len(m))
 		for name := range m {
 			names = append(names, name)
@@ -152,9 +170,10 @@ func segMean(vals []float64) stats.Summary {
 }
 
 // Worse reports whether a shift in this unit is a degradation: times,
-// ratios, and counts degrade upward, scores degrade downward.
+// ratios, and counts degrade upward; scores and rates (throughput)
+// degrade downward.
 func Worse(unit string, shift float64) bool {
-	if unit == "score" {
+	if unit == "score" || unit == "rate" {
 		return shift < 0
 	}
 	return shift > 0

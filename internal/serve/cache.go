@@ -1,0 +1,149 @@
+// Package serve implements the persistent render service: a long-lived
+// HTTP frontend that schedules render requests over the in-process rank
+// runtime with admission control, reuses generated volumes and
+// macrocell masks across requests, and makes every request observable
+// (request IDs, RED metrics, per-request perf reports, latency
+// quantiles).
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"bgpvr/internal/core"
+	"bgpvr/internal/obs"
+	"bgpvr/internal/render"
+	"bgpvr/internal/volume"
+)
+
+// fieldCache is a byte-bounded LRU over synthesized block fields,
+// satisfying core.FieldCache. Generation happens outside the lock, so
+// concurrent misses for different blocks proceed in parallel;
+// concurrent misses for the same key may generate twice, but exactly
+// one result is kept — callers always share the stored pointer, which
+// is what keeps the mask cache (keyed by field pointer) coherent.
+type fieldCache struct {
+	mu     sync.Mutex
+	capB   int64
+	sizeB  int64
+	ll     *list.List // front = most recently used; values are *fieldEntry
+	m      map[core.FieldKey]*list.Element
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+type fieldEntry struct {
+	key core.FieldKey
+	f   *volume.Field
+}
+
+func newFieldCache(capBytes int64, hits, misses *obs.Counter) *fieldCache {
+	return &fieldCache{capB: capBytes, ll: list.New(),
+		m: map[core.FieldKey]*list.Element{}, hits: hits, misses: misses}
+}
+
+func fieldBytes(f *volume.Field) int64 { return int64(len(f.Data)) * 4 }
+
+// Get implements core.FieldCache.
+func (c *fieldCache) Get(key core.FieldKey, generate func() *volume.Field) *volume.Field {
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		f := el.Value.(*fieldEntry).f
+		c.mu.Unlock()
+		c.hits.Inc()
+		return f
+	}
+	c.mu.Unlock()
+
+	f := generate()
+	c.misses.Inc()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		// Lost a same-key race: keep the stored field so every caller
+		// shares one pointer.
+		c.ll.MoveToFront(el)
+		return el.Value.(*fieldEntry).f
+	}
+	c.m[key] = c.ll.PushFront(&fieldEntry{key: key, f: f})
+	c.sizeB += fieldBytes(f)
+	for c.sizeB > c.capB && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*fieldEntry)
+		c.ll.Remove(back)
+		delete(c.m, e.key)
+		c.sizeB -= fieldBytes(e.f)
+	}
+	return f
+}
+
+// Stats returns the live entry count and byte size.
+func (c *fieldCache) Stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.sizeB
+}
+
+// maskCache is an entry-bounded LRU over macrocell opacity masks,
+// satisfying render.MaskCache. It keys on the field pointer: fields
+// come from the field cache, so the same volume block keeps the same
+// pointer across requests, and an evicted (regenerated) field simply
+// misses here too.
+type maskCache struct {
+	mu     sync.Mutex
+	capN   int
+	ll     *list.List // values are *maskEntry
+	m      map[*volume.Field]*list.Element
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+type maskEntry struct {
+	f    *volume.Field
+	mask *render.OpacityMask
+}
+
+func newMaskCache(capEntries int, hits, misses *obs.Counter) *maskCache {
+	return &maskCache{capN: capEntries, ll: list.New(),
+		m: map[*volume.Field]*list.Element{}, hits: hits, misses: misses}
+}
+
+// Get implements render.MaskCache.
+func (c *maskCache) Get(f *volume.Field, build func() *render.OpacityMask) *render.OpacityMask {
+	c.mu.Lock()
+	if el, ok := c.m[f]; ok {
+		c.ll.MoveToFront(el)
+		mk := el.Value.(*maskEntry).mask
+		c.mu.Unlock()
+		c.hits.Inc()
+		return mk
+	}
+	c.mu.Unlock()
+
+	mk := build()
+	c.misses.Inc()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[f]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*maskEntry).mask
+	}
+	c.m[f] = c.ll.PushFront(&maskEntry{f: f, mask: mk})
+	for c.ll.Len() > c.capN {
+		back := c.ll.Back()
+		e := back.Value.(*maskEntry)
+		c.ll.Remove(back)
+		delete(c.m, e.f)
+	}
+	return mk
+}
+
+// Stats returns the live entry count.
+func (c *maskCache) Stats() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,14 +1,18 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"html"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -90,6 +94,18 @@ type DebugSource struct {
 	// RunsPath, when set, is the runstore JSONL file streamed verbatim
 	// at /runs (application/x-ndjson): one perf record per line.
 	RunsPath string
+	// Extra mounts additional endpoints on the debug mux and lists
+	// them on the index page. Handlers are mounted as-is — an owner
+	// that serves writes (the render service's POST /render) enforces
+	// its own methods; the built-in views stay GET/HEAD-only.
+	Extra []DebugEndpoint
+}
+
+// DebugEndpoint is one caller-supplied endpoint for the debug mux.
+type DebugEndpoint struct {
+	Path    string // mux pattern, e.g. "/status"
+	Desc    string // one-line description for the index page
+	Handler http.Handler
 }
 
 // snapshotSource is what the debug server reads on each request. The
@@ -169,11 +185,13 @@ type DebugServer struct {
 	srv  *http.Server
 }
 
-// StartDebug binds addr and serves the debug endpoint in the
-// background until Close. Every DebugSource field is optional;
-// /critpath and /fidelity serve JSON, or the text report with
-// ?text=1, and answer 503 while their producer still returns nil.
-func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
+// NewDebugMux assembles the debug endpoint's mux: pprof, expvar, the
+// live /telemetry snapshot, Prometheus /metrics, the analysis views,
+// any Extra endpoints, and an index page at "/" listing everything.
+// StartDebug wraps it in a background server; the render service
+// mounts it directly so one port serves both the API and the
+// observability surfaces.
+func NewDebugMux(ds DebugSource) *http.ServeMux {
 	src := &snapshotSource{tracer: ds.Tracer, net: ds.Net}
 	expvarSrc.Store(src)
 	expvarOnce.Do(func() {
@@ -182,10 +200,6 @@ func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
 		}))
 	})
 
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -244,22 +258,75 @@ func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_, _ = io.Copy(w, f)
 	}))
+	// The index: every registered endpoint with a one-line description,
+	// so operators can discover the surfaces without reading the source.
+	index := []DebugEndpoint{
+		{Path: "/debug/pprof/", Desc: "net/http/pprof profiles (heap, goroutine, CPU, ...)"},
+		{Path: "/debug/vars", Desc: "expvar JSON (includes the live bgpvr telemetry snapshot)"},
+		{Path: "/telemetry", Desc: "live telemetry snapshot: trace counters, histograms, network, parallel"},
+		{Path: "/metrics", Desc: "Prometheus text exposition of the live metrics registry"},
+		{Path: "/critpath", Desc: "critical-path & load-imbalance analysis (?text=1 for the report)"},
+		{Path: "/fidelity", Desc: "paper-fidelity scorecard (?text=1 for the table)"},
+		{Path: "/runs", Desc: "run registry stream (application/x-ndjson)"},
+	}
+	for _, e := range ds.Extra {
+		mux.Handle(e.Path, e.Handler)
+		index = append(index, DebugEndpoint{Path: e.Path, Desc: e.Desc})
+	}
+	sort.Slice(index, func(i, j int) bool { return index[i].Path < index[j].Path })
 	mux.HandleFunc("/", readOnly(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "bgpvr debug endpoint: /debug/pprof/  /debug/vars  /telemetry  /metrics  /critpath  /fidelity  /runs\n")
+		if r.URL.Query().Get("text") != "" || !strings.Contains(r.Header.Get("Accept"), "text/html") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, "bgpvr debug endpoint\n\n")
+			for _, e := range index {
+				fmt.Fprintf(w, "%-16s %s\n", e.Path, e.Desc)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<!DOCTYPE html><html><head><title>bgpvr debug endpoint</title></head><body><h1>bgpvr debug endpoint</h1><ul>\n")
+		for _, e := range index {
+			fmt.Fprintf(w, `<li><a href="%s">%s</a> — %s</li>`+"\n",
+				html.EscapeString(e.Path), html.EscapeString(e.Path), html.EscapeString(e.Desc))
+		}
+		fmt.Fprint(w, "</ul></body></html>\n")
 	}))
-	s := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	return mux
+}
+
+// StartDebug binds addr and serves the debug endpoint in the
+// background until Close (or Shutdown, which drains in-flight
+// requests). Every DebugSource field is optional; /critpath and
+// /fidelity serve JSON, or the text report with ?text=1, and answer
+// 503 while their producer still returns nil.
+func StartDebug(addr string, ds DebugSource) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	s := &DebugServer{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: NewDebugMux(ds)}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
 
-// Close stops the server.
+// Close stops the server immediately, dropping in-flight requests.
 func (s *DebugServer) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown drains the server gracefully: no new connections are
+// accepted and in-flight requests run to completion, bounded by the
+// context's deadline.
+func (s *DebugServer) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

@@ -1,13 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bgpvr/internal/critpath"
 	"bgpvr/internal/obs"
@@ -323,5 +326,133 @@ func TestDebugServerRuns(t *testing.T) {
 	code, body := get(t, base+"/runs")
 	if code != http.StatusOK || body != line {
 		t.Errorf("/runs status %d body %q", code, body)
+	}
+}
+
+// TestDebugServerIndexAndExtras pins the discoverability contract: the
+// index page lists every registered endpoint including caller-supplied
+// extras, extras are mounted as-is (their own method policy), and the
+// built-in views stay read-only.
+func TestDebugServerIndexAndExtras(t *testing.T) {
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{
+		Extra: []DebugEndpoint{
+			{Path: "/status", Desc: "service status", Handler: http.HandlerFunc(
+				func(w http.ResponseWriter, r *http.Request) { fmt.Fprint(w, "status ok") })},
+			{Path: "/render", Desc: "render API", Handler: http.HandlerFunc(
+				func(w http.ResponseWriter, r *http.Request) {
+					if r.Method != http.MethodPost {
+						http.Error(w, "POST only", http.StatusMethodNotAllowed)
+						return
+					}
+					fmt.Fprint(w, "rendered")
+				})},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/")
+	if code != http.StatusOK {
+		t.Fatalf("index status %d", code)
+	}
+	for _, want := range []string{"/debug/pprof/", "/telemetry", "/metrics", "/critpath", "/fidelity", "/runs", "/status", "/render"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "service status") {
+		t.Errorf("index missing the extra endpoint's description:\n%s", body)
+	}
+
+	// HTML when asked for.
+	req, _ := http.NewRequest(http.MethodGet, base+"/", nil)
+	req.Header.Set("Accept", "text/html")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("Accept: text/html got Content-Type %q", ct)
+	}
+	if !strings.Contains(string(b), `<a href="/status">`) {
+		t.Errorf("HTML index missing the /status link:\n%s", b)
+	}
+
+	// The extra is served, with its own method policy (POST works).
+	code, body = get(t, base+"/status")
+	if code != http.StatusOK || body != "status ok" {
+		t.Errorf("/status = %d %q", code, body)
+	}
+	resp, err = http.Post(base+"/render", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("POST /render status %d, want 200 (extras own their methods)", resp.StatusCode)
+	}
+}
+
+// TestDebugServerShutdownDrains pins graceful shutdown: a request in
+// flight when Shutdown is called completes instead of being dropped.
+func TestDebugServerShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv, err := StartDebug("127.0.0.1:0", DebugSource{
+		Extra: []DebugEndpoint{{Path: "/slow", Desc: "slow", Handler: http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				close(entered)
+				<-release
+				fmt.Fprint(w, "drained")
+			})}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- result{code: resp.StatusCode, body: string(b)}
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { done <- srv.Shutdown(ctx) }()
+	// Shutdown must wait for the in-flight request; release it and both
+	// sides must finish cleanly.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	default:
+	}
+	close(release)
+	r := <-got
+	if r.err != nil || r.code != http.StatusOK || r.body != "drained" {
+		t.Errorf("in-flight request = %+v, want 200 drained", r)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if (*DebugServer)(nil).Shutdown(ctx) != nil {
+		t.Error("nil server Shutdown must be a no-op")
 	}
 }

@@ -27,7 +27,10 @@ import (
 //	4 — runtime section gains workers and parallel_speedup
 //	5 — adds the flowsim section (approx_eps / observed_err accuracy
 //	    telemetry of the clustered contention approximation)
-const ReportSchema = 5
+//	6 — adds the service section (render-service load-test results:
+//	    per-concurrency latency percentiles, throughput, error and
+//	    admission counts)
+const ReportSchema = 6
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -50,7 +53,55 @@ type Report struct {
 	Imbalance  []ImbalanceStat   `json:"imbalance,omitempty"`
 	Fidelity   *FidelityStat     `json:"fidelity,omitempty"`
 	Flowsim    *FlowsimStat      `json:"flowsim,omitempty"`
+	Service    *ServiceStat      `json:"service,omitempty"`
 	Runtime    *RuntimeStat      `json:"runtime,omitempty"`
+}
+
+// ServiceStat records a render-service load test: one point per
+// concurrency level of a sweep (a soak is a single point), with
+// client-observed latency percentiles, throughput, and the admission
+// outcomes. cmd/serveload builds it; perfdiff -only service gates p99,
+// throughput, and error-rate drift between two of them.
+type ServiceStat struct {
+	// Mode is "sweep" or "soak".
+	Mode string `json:"mode"`
+	// Target is the service address, or "in-process" when the harness
+	// spun the server inside its own process.
+	Target string         `json:"target,omitempty"`
+	Points []ServicePoint `json:"points,omitempty"`
+}
+
+// ServicePoint is one steady concurrency level's aggregate outcome.
+type ServicePoint struct {
+	Concurrency int   `json:"concurrency"`
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok_2xx"`
+	Rejected    int64 `json:"rejected_429"`
+	Deadline    int64 `json:"deadline_503"`
+	// Errors counts every other non-2xx outcome, including transport
+	// failures.
+	Errors      int64   `json:"errors_other,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+	RPS         float64 `json:"rps"`
+	// Latency percentiles are estimated from a log-bucketed histogram
+	// of client-observed request wall times (obs.Histogram.Quantile),
+	// so they carry bucket resolution, not exact order statistics.
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// CacheHits/CacheMisses are the service-side volume-cache deltas
+	// across the point, when the harness could read them from /status.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+}
+
+// ErrorRate returns the fraction of requests that did not end 2xx.
+func (p ServicePoint) ErrorRate() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return float64(p.Requests-p.OK) / float64(p.Requests)
 }
 
 // FlowsimStat records the contention-kernel configuration of the run
@@ -508,6 +559,48 @@ func CompareFlowsim(old, new *Report, threshold float64) []Delta {
 	if old.Flowsim.ApproxSec > 0 && new.Flowsim.ApproxSec > 0 {
 		deltas = append(deltas, flagDelta("flowsim approx_sec", "flowsim", "s",
 			old.Flowsim.ApproxSec, new.Flowsim.ApproxSec, threshold))
+	}
+	return deltas
+}
+
+// CompareService compares the render-service load-test sections of
+// two reports, matching sweep points by concurrency. p99 latency
+// rising beyond the threshold is a regression; throughput (rps)
+// *falling* beyond the threshold is a regression; the error rate
+// rising beyond the threshold relative (with a 0.1% absolute floor so
+// a single flaky request out of thousands doesn't gate) is a
+// regression. Both reports must carry a service section for anything
+// to compare.
+func CompareService(old, new *Report, threshold float64) []Delta {
+	if old.Service == nil || new.Service == nil {
+		return nil
+	}
+	oldPts := map[int]ServicePoint{}
+	for _, p := range old.Service.Points {
+		oldPts[p.Concurrency] = p
+	}
+	var deltas []Delta
+	for _, np := range new.Service.Points {
+		op, ok := oldPts[np.Concurrency]
+		if !ok {
+			continue
+		}
+		tag := fmt.Sprintf("service c=%d ", np.Concurrency)
+		deltas = append(deltas, flagDelta(tag+"p99_ms", "service", "s",
+			op.P99Ms/1e3, np.P99Ms/1e3, threshold))
+		rps := Delta{Metric: tag + "rps", Class: "service", Unit: "count",
+			Old: op.RPS, New: np.RPS}
+		if op.RPS > 0 && (op.RPS-np.RPS)/op.RPS > threshold {
+			rps.Regression = true
+		}
+		deltas = append(deltas, rps)
+		er := Delta{Metric: tag + "error_rate", Class: "service", Unit: "ratio",
+			Old: op.ErrorRate(), New: np.ErrorRate()}
+		if np.ErrorRate()-op.ErrorRate() > 0.001 &&
+			(op.ErrorRate() == 0 || (np.ErrorRate()-op.ErrorRate())/op.ErrorRate() > threshold) {
+			er.Regression = true
+		}
+		deltas = append(deltas, er)
 	}
 	return deltas
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -341,5 +342,90 @@ func TestFidelityStatTable(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("table missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestCompareService pins the service-section gate: p99 rising and RPS
+// falling beyond the threshold are regressions, error rate needs both
+// the absolute floor and the relative rise, points are matched by
+// concurrency, and reports without a service section compare to nil.
+func TestCompareService(t *testing.T) {
+	old := &Report{Service: &ServiceStat{Mode: "sweep", Points: []ServicePoint{
+		{Concurrency: 4, Requests: 100, OK: 100, RPS: 50, P99Ms: 100},
+		{Concurrency: 8, Requests: 100, OK: 100, RPS: 80, P99Ms: 150},
+	}}}
+	nw := &Report{Service: &ServiceStat{Mode: "sweep", Points: []ServicePoint{
+		{Concurrency: 4, Requests: 100, OK: 80, Rejected: 20, RPS: 30, P99Ms: 150},
+		{Concurrency: 16, Requests: 100, OK: 100, RPS: 90, P99Ms: 100},
+	}}}
+	deltas := CompareService(old, nw, 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (only c=4 matches):\n%+v", len(deltas), deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		if d.Class != "service" {
+			t.Errorf("delta %s class %q, want service", d.Metric, d.Class)
+		}
+		byName[d.Metric] = d
+	}
+	if d := byName["service c=4 p99_ms"]; !d.Regression || d.Old != 0.1 || d.New != 0.15 {
+		t.Errorf("p99 delta = %+v, want regression 0.1->0.15 s", d)
+	}
+	if d := byName["service c=4 rps"]; !d.Regression {
+		t.Errorf("rps drop 50->30 not flagged: %+v", d)
+	}
+	if d := byName["service c=4 error_rate"]; !d.Regression {
+		t.Errorf("error rate 0->0.2 not flagged: %+v", d)
+	}
+
+	// Improvements and tiny error-rate wiggle below the floor pass.
+	better := &Report{Service: &ServiceStat{Mode: "sweep", Points: []ServicePoint{
+		{Concurrency: 4, Requests: 10000, OK: 9999, Errors: 1, RPS: 60, P99Ms: 90},
+	}}}
+	for _, d := range CompareService(old, better, 0.10) {
+		if d.Regression {
+			t.Errorf("improvement flagged as regression: %+v", d)
+		}
+	}
+
+	if got := CompareService(&Report{}, nw, 0.10); got != nil {
+		t.Errorf("missing old service section compared non-nil: %+v", got)
+	}
+	if got := CompareService(old, &Report{}, 0.10); got != nil {
+		t.Errorf("missing new service section compared non-nil: %+v", got)
+	}
+}
+
+// TestServiceStatRoundTrip pins the service section's JSON shape and
+// ErrorRate arithmetic.
+func TestServiceStatRoundTrip(t *testing.T) {
+	p := ServicePoint{Concurrency: 8, Requests: 200, OK: 190, Rejected: 6,
+		Deadline: 3, Errors: 1, DurationSec: 2, RPS: 100,
+		P50Ms: 10, P90Ms: 20, P99Ms: 40, MeanMs: 12, CacheHits: 150, CacheMisses: 50}
+	if got, want := p.ErrorRate(), 10.0/200; got != want {
+		t.Errorf("ErrorRate = %v, want %v", got, want)
+	}
+	if (ServicePoint{}).ErrorRate() != 0 {
+		t.Error("empty point ErrorRate != 0")
+	}
+	r := &Report{Schema: ReportSchema, Service: &ServiceStat{
+		Mode: "sweep", Target: "in-process", Points: []ServicePoint{p}}}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ok_2xx":190`, `"rejected_429":6`, `"deadline_503":3`,
+		`"p99_ms":40`, `"cache_hits":150`, `"mode":"sweep"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("service JSON missing %s:\n%s", want, b)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Service == nil || len(back.Service.Points) != 1 || back.Service.Points[0] != p {
+		t.Errorf("round trip mismatch: %+v", back.Service)
 	}
 }
