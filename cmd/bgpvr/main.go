@@ -71,6 +71,10 @@ func main() {
 	serveDeadline := flag.Duration("serve-deadline", 0, "default per-request deadline in serve mode (0 = 30s)")
 	serveCacheMB := flag.Int("serve-cache-mb", 0, "volume field cache budget in MB (0 = 256)")
 	serveDrain := flag.Duration("serve-drain", 15*time.Second, "how long Shutdown waits for in-flight requests on SIGINT/SIGTERM")
+	serveSLO := flag.Duration("serve-slo", 0, "per-request latency objective in serve mode; requests over it are tail-sampled into the trace store and, with -diag-dir, dumped as diagnostic bundles (0 disables the SLO rule)")
+	diagDir := flag.String("diag-dir", "", "directory for SLO-breach diagnostic bundles (span tree + metrics + flight record per breaching request)")
+	serveTraceMB := flag.Int("serve-trace-mb", 0, "trace store byte budget in MB for tail-sampled request traces (0 = default 8, -1 disables tracing)")
+	serveTraceSample := flag.Int("serve-trace-sample", 0, "keep 1-in-N of requests that no tail rule selects (0 = default 16, -1 keeps none of them)")
 	flag.Parse()
 
 	if *progress {
@@ -81,7 +85,9 @@ func main() {
 		if err := runServe(serveArgs{addr: *serveAddr, concurrency: *serveConcurrency,
 			queue: *serveQueue, deadline: *serveDeadline, cacheMB: *serveCacheMB,
 			drain: *serveDrain, workers: *workers, runRecord: *runRecord,
-			crashDump: *crashDump, softDeadline: *softDeadline}); err != nil {
+			crashDump: *crashDump, softDeadline: *softDeadline,
+			slo: *serveSLO, diagDir: *diagDir,
+			traceMB: *serveTraceMB, traceSample: *serveTraceSample}); err != nil {
 			fmt.Fprintln(os.Stderr, "bgpvr:", err)
 			os.Exit(1)
 		}

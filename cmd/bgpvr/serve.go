@@ -25,6 +25,10 @@ type serveArgs struct {
 	runRecord    string
 	crashDump    string
 	softDeadline time.Duration
+	slo          time.Duration
+	diagDir      string
+	traceMB      int
+	traceSample  int
 }
 
 // runServe runs the persistent render service until SIGINT/SIGTERM,
@@ -49,12 +53,16 @@ func runServe(a serveArgs) error {
 		Workers:         a.workers,
 		CacheMB:         a.cacheMB,
 		RunsPath:        a.runRecord,
+		SLO:             a.slo,
+		DiagDir:         a.diagDir,
+		TraceBudgetMB:   a.traceMB,
+		TraceSampleN:    a.traceSample,
 		Log:             log,
 	})
 	if err := s.Start(a.addr); err != nil {
 		return err
 	}
-	fmt.Printf("render service: http://%s/ (POST /render, /status, /metrics, pprof)\n", s.Addr())
+	fmt.Printf("render service: http://%s/ (POST /render, /status, /traces, /metrics, pprof)\n", s.Addr())
 	obs.Note("serve mode: addr=%s workers=%d", s.Addr(), a.workers)
 
 	sig := make(chan os.Signal, 1)

@@ -48,6 +48,29 @@ import (
 type point struct {
 	ok, rejected, deadline, errs atomic.Int64
 	hist                         *obs.Histogram
+
+	mu        sync.Mutex
+	slowest   time.Duration
+	slowestID string   // server-assigned X-Request-ID of the slowest request
+	failIDs   []string // request IDs of non-2xx responses, capped
+}
+
+// maxFailIDs caps the failed-request IDs kept per level; enough to
+// pull the traces, bounded so a full-rejection level stays readable.
+const maxFailIDs = 8
+
+// observe folds one finished request into the level's ID bookkeeping.
+// The server echoes its request ID in the X-Request-ID response
+// header, so a recorded ID is directly queryable at /traces/{id}.
+func (p *point) observe(d time.Duration, id string, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d > p.slowest {
+		p.slowest, p.slowestID = d, id
+	}
+	if failed && id != "" && len(p.failIDs) < maxFailIDs {
+		p.failIDs = append(p.failIDs, id)
+	}
 }
 
 // run drives total requests (or, when total<0, keeps going until ctx
@@ -68,8 +91,10 @@ func (p *point) run(ctx context.Context, client *http.Client, url string, body [
 					return
 				}
 				t0 := time.Now()
-				code, err := post(ctx, client, url, body)
-				p.hist.Observe(time.Since(t0).Seconds())
+				code, id, err := post(ctx, client, url, body)
+				d := time.Since(t0)
+				p.hist.Observe(d.Seconds())
+				failed := true
 				switch {
 				case err != nil:
 					if ctx.Err() != nil {
@@ -78,6 +103,7 @@ func (p *point) run(ctx context.Context, client *http.Client, url string, body [
 					p.errs.Add(1)
 				case code >= 200 && code < 300:
 					p.ok.Add(1)
+					failed = false
 				case code == http.StatusTooManyRequests:
 					p.rejected.Add(1)
 				case code == http.StatusServiceUnavailable:
@@ -85,6 +111,7 @@ func (p *point) run(ctx context.Context, client *http.Client, url string, body [
 				default:
 					p.errs.Add(1)
 				}
+				p.observe(d, id, failed)
 			}
 		}()
 	}
@@ -92,19 +119,21 @@ func (p *point) run(ctx context.Context, client *http.Client, url string, body [
 	return time.Since(start)
 }
 
-func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+// post issues one render request and returns the status code plus the
+// server-assigned X-Request-ID (empty against a non-bgpvr target).
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header.Get("X-Request-ID"), nil
 }
 
 // cacheCounters reads the service's field-cache counters from
@@ -214,6 +243,7 @@ func main() {
 		"conc", "requests", "2xx", "429", "503", "err", "rps", "mean_ms", "p50_ms", "p90_ms", "p99_ms")
 	var total2xx int64
 	var budgetViolations []string
+	var allFailIDs []string
 	for i, c := range levels {
 		p := &point{hist: reg.NewHistogram(fmt.Sprintf("serveload_latency_%d", i),
 			"Client-observed request latency.", buckets)}
@@ -255,14 +285,30 @@ func main() {
 		if h1, m1, ok := cacheCounters(client, base); ok && haveCache {
 			sp.CacheHits, sp.CacheMisses = h1-h0, m1-m0
 		}
+		sp.SlowestMs = p.slowest.Seconds() * 1e3
+		sp.SlowestID = p.slowestID
+		sp.FailIDs = append([]string(nil), p.failIDs...)
 		stat.Points = append(stat.Points, sp)
 		total2xx += sp.OK
+		allFailIDs = append(allFailIDs, sp.FailIDs...)
 		fmt.Printf("%5d %9d %7d %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %9.2f\n",
 			c, sp.Requests, sp.OK, sp.Rejected, sp.Deadline, sp.Errors,
 			sp.RPS, sp.MeanMs, sp.P50Ms, sp.P90Ms, sp.P99Ms)
+		// The server tail-samples slow and failed requests, so these IDs
+		// are the handles into its /traces/{id} span trees.
+		if sp.SlowestID != "" {
+			fmt.Printf("      slowest: %.2fms id=%s (GET %s/traces/%s)\n",
+				sp.SlowestMs, sp.SlowestID, base, sp.SlowestID)
+		}
+		if len(sp.FailIDs) > 0 {
+			fmt.Printf("      failed ids (first %d): %s\n", maxFailIDs, strings.Join(sp.FailIDs, " "))
+		}
 		if *p99Budget > 0 && sp.P99Ms > float64(p99Budget.Milliseconds()) {
-			budgetViolations = append(budgetViolations,
-				fmt.Sprintf("c=%d p99 %.2fms > budget %v", c, sp.P99Ms, *p99Budget))
+			v := fmt.Sprintf("c=%d p99 %.2fms > budget %v", c, sp.P99Ms, *p99Budget)
+			if sp.SlowestID != "" {
+				v += fmt.Sprintf(" (slowest request %s: %.2fms)", sp.SlowestID, sp.SlowestMs)
+			}
+			budgetViolations = append(budgetViolations, v)
 		}
 	}
 
@@ -295,7 +341,11 @@ func main() {
 
 	failed := false
 	if *min2xx > 0 && total2xx < *min2xx {
-		fmt.Fprintf(os.Stderr, "serveload: FAIL: %d requests succeeded, need %d\n", total2xx, *min2xx)
+		msg := fmt.Sprintf("%d requests succeeded, need %d", total2xx, *min2xx)
+		if len(allFailIDs) > 0 {
+			msg += " (failed request ids: " + strings.Join(allFailIDs, " ") + ")"
+		}
+		fmt.Fprintf(os.Stderr, "serveload: FAIL: %s\n", msg)
 		failed = true
 	}
 	for _, v := range budgetViolations {

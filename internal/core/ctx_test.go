@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"bgpvr/internal/img"
+	"bgpvr/internal/trace"
 	"bgpvr/internal/volume"
 )
 
@@ -43,6 +44,59 @@ func TestRequestID(t *testing.T) {
 	ctx := WithRequestID(context.Background(), "req-42")
 	if got := RequestIDFrom(ctx); got != "req-42" {
 		t.Errorf("RequestIDFrom = %q, want req-42", got)
+	}
+}
+
+// TestContextTracerFallback pins the context-carried tracer: RunReal
+// and RunModel fall back to WithTracer when cfg.Trace is nil, and the
+// field-cache-fill span appears exactly on cache misses.
+func TestContextTracerFallback(t *testing.T) {
+	if TracerFrom(context.Background()) != nil {
+		t.Error("bare context carries a tracer")
+	}
+	s := DefaultScene(16, 32)
+	tr := trace.New(2)
+	cache := &countingFieldCache{}
+	cold := RealConfig{Ctx: WithTracer(context.Background(), tr), Scene: s, Procs: 2, Fields: cache}
+	if _, err := RunReal(cold); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range tr.Events() {
+		counts[e.Name]++
+	}
+	for _, name := range []string{"io", "render", "composite"} {
+		if counts[name] == 0 {
+			t.Errorf("context tracer missing %q span", name)
+		}
+	}
+	if counts["field-cache-fill"] != 2 {
+		t.Errorf("cold frame field-cache-fill spans = %d, want 2 (one per rank)", counts["field-cache-fill"])
+	}
+
+	// A warm second frame hits every block: no fill spans.
+	warm := cold
+	warm.Ctx = WithTracer(context.Background(), trace.New(2))
+	if _, err := RunReal(warm); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range TracerFrom(warm.Ctx).Events() {
+		if e.Name == "field-cache-fill" {
+			t.Fatal("warm frame recorded a field-cache-fill span")
+		}
+	}
+
+	// Model mode lays its virtual timeline on the context tracer too.
+	vt := trace.NewVirtual(1)
+	if _, err := RunModel(ModelConfig{Ctx: WithTracer(context.Background(), vt), Scene: s, Procs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var sawRender bool
+	for _, e := range vt.Events() {
+		sawRender = sawRender || e.Name == "render"
+	}
+	if !sawRender {
+		t.Error("model virtual timeline missing on context tracer")
 	}
 }
 

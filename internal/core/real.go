@@ -191,8 +191,12 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 	var usefulBytes int64
 	rankSamples := make([]int64, cfg.Procs)
 
+	frameTrace := cfg.Trace
+	if frameTrace == nil {
+		frameTrace = TracerFrom(ctx)
+	}
 	world := comm.NewWorld(cfg.Procs)
-	world.SetTracer(cfg.Trace)
+	world.SetTracer(frameTrace)
 	world.SetNetTelemetry(cfg.Net)
 	world.SetCritPath(cfg.CritPath)
 	err := world.Run(func(c *comm.Comm) error {
@@ -230,6 +234,10 @@ func RunReal(cfg RealConfig) (*RealResult, error) {
 			}
 			if cfg.Format == FormatGenerate {
 				gen := func() *volume.Field {
+					// Only runs on a cache miss, so the span's presence in
+					// a request trace distinguishes cold fills from hits.
+					sp := tr.Begin(trace.PhaseIO, "field-cache-fill")
+					defer sp.End()
 					return s.Supernova().Generate(s.Variable, s.Dims, readExt)
 				}
 				// GhostExchange mutates the field in place below, so a

@@ -22,6 +22,12 @@ type Sample struct {
 	Labels string // rendered pairs without braces, e.g. `le="4096"`
 	Value  float64
 	Int    bool
+	// ExemplarID/ExemplarVal carry the bucket's last exemplar when the
+	// histogram has exemplars enabled and one was recorded: the trace ID
+	// of a request that landed in this bucket and its observed value.
+	// Rendered as an OpenMetrics-style suffix (`# {trace_id="..."} v`).
+	ExemplarID  string
+	ExemplarVal float64
 }
 
 // metric is what the registry stores: anything that can describe
@@ -154,11 +160,16 @@ func writeSample(w io.Writer, s Sample) error {
 	} else {
 		v = strconv.FormatFloat(s.Value, 'g', -1, 64)
 	}
+	ex := ""
+	if s.ExemplarID != "" {
+		ex = fmt.Sprintf(" # {trace_id=%q} %s", s.ExemplarID,
+			strconv.FormatFloat(s.ExemplarVal, 'g', -1, 64))
+	}
 	var err error
 	if s.Labels != "" {
-		_, err = fmt.Fprintf(w, "%s{%s} %s\n", s.Name, s.Labels, v)
+		_, err = fmt.Fprintf(w, "%s{%s} %s%s\n", s.Name, s.Labels, v, ex)
 	} else {
-		_, err = fmt.Fprintf(w, "%s %s\n", s.Name, v)
+		_, err = fmt.Fprintf(w, "%s %s%s\n", s.Name, v, ex)
 	}
 	return err
 }
@@ -316,6 +327,22 @@ type HistogramVec struct {
 	bounds     []float64
 	mu         sync.Mutex
 	children   map[string]*Histogram
+	exemplars  bool
+}
+
+// EnableExemplars arms exemplar slots on every present and future
+// child of the family.
+func (v *HistogramVec) EnableExemplars() {
+	v.mu.Lock()
+	v.exemplars = true
+	children := make([]*Histogram, 0, len(v.children))
+	for _, h := range v.children {
+		children = append(children, h)
+	}
+	v.mu.Unlock()
+	for _, h := range children {
+		h.EnableExemplars()
+	}
 }
 
 // NewHistogramVec registers (or returns) the named histogram family.
@@ -340,6 +367,9 @@ func (v *HistogramVec) With(labels string) *Histogram {
 	if !ok {
 		h = &Histogram{name: v.name, labels: labels, bounds: v.bounds}
 		h.counts = make([]atomic.Int64, len(v.bounds)+1)
+		if v.exemplars {
+			h.EnableExemplars()
+		}
 		v.children[labels] = h
 	}
 	return h
@@ -391,18 +421,88 @@ type Histogram struct {
 	bounds     []float64
 	counts     []atomic.Int64 // len(bounds)+1; last is +Inf
 	sumBits    atomic.Uint64
+	// exemplars, when enabled, holds one last-exemplar slot per bucket
+	// (len(bounds)+1, matching counts). The slice pointer doubles as the
+	// on/off switch: ObserveEx pays one atomic load when off and
+	// allocates nothing, so exemplar-capable call sites cost the same
+	// as Observe until EnableExemplars flips them on.
+	exemplars atomic.Pointer[[]atomic.Pointer[Exemplar]]
+}
+
+// Exemplar links one observed value to the trace that produced it —
+// how a latency bucket names a stored request trace.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+}
+
+// EnableExemplars arms the per-bucket exemplar slots. Idempotent and
+// safe to call concurrently with observations.
+func (h *Histogram) EnableExemplars() {
+	if h.exemplars.Load() != nil {
+		return
+	}
+	slots := make([]atomic.Pointer[Exemplar], len(h.bounds)+1)
+	h.exemplars.CompareAndSwap(nil, &slots)
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// ObserveEx records one value and, when exemplars are enabled, stamps
+// the bucket it lands in with the trace ID as its last exemplar. With
+// exemplars off it is exactly Observe: one atomic pointer load extra,
+// zero allocations.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	i := h.observe(v)
+	if slots := h.exemplars.Load(); slots != nil {
+		(*slots)[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	for {
 		old := h.sumBits.Load()
 		if h.sumBits.CompareAndSwap(old, floatBits(floatFromBits(old)+v)) {
-			return
+			return i
 		}
 	}
+}
+
+// BucketExemplar returns bucket i's last exemplar (i in
+// [0, len(bounds)]; the final index is the +Inf bucket). ok is false
+// when exemplars are off or the bucket has not seen an exemplared
+// observation yet.
+func (h *Histogram) BucketExemplar(i int) (Exemplar, bool) {
+	slots := h.exemplars.Load()
+	if slots == nil || i < 0 || i >= len(*slots) {
+		return Exemplar{}, false
+	}
+	e := (*slots)[i].Load()
+	if e == nil {
+		return Exemplar{}, false
+	}
+	return *e, true
+}
+
+// SlowestExemplar returns the exemplar from the highest populated
+// bucket — the trace of (one of) the slowest requests the histogram
+// has seen — or ok=false when there is none.
+func (h *Histogram) SlowestExemplar() (Exemplar, bool) {
+	slots := h.exemplars.Load()
+	if slots == nil {
+		return Exemplar{}, false
+	}
+	for i := len(*slots) - 1; i >= 0; i-- {
+		if e := (*slots)[i].Load(); e != nil {
+			return *e, true
+		}
+	}
+	return Exemplar{}, false
 }
 
 // Count returns the number of observations so far.
@@ -492,14 +592,22 @@ func (h *Histogram) collect(out []Sample) []Sample {
 	var cum int64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		out = append(out, Sample{
+		s := Sample{
 			Name:   h.name + "_bucket",
 			Labels: prefix + `le="` + strconv.FormatFloat(b, 'g', -1, 64) + `"`,
 			Value:  float64(cum), Int: true,
-		})
+		}
+		if e, ok := h.BucketExemplar(i); ok {
+			s.ExemplarID, s.ExemplarVal = e.TraceID, e.Value
+		}
+		out = append(out, s)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	out = append(out, Sample{Name: h.name + "_bucket", Labels: prefix + `le="+Inf"`, Value: float64(cum), Int: true})
+	inf := Sample{Name: h.name + "_bucket", Labels: prefix + `le="+Inf"`, Value: float64(cum), Int: true}
+	if e, ok := h.BucketExemplar(len(h.bounds)); ok {
+		inf.ExemplarID, inf.ExemplarVal = e.TraceID, e.Value
+	}
+	out = append(out, inf)
 	out = append(out, Sample{Name: h.name + "_sum", Labels: h.labels, Value: floatFromBits(h.sumBits.Load())})
 	out = append(out, Sample{Name: h.name + "_count", Labels: h.labels, Value: float64(cum), Int: true})
 	return out

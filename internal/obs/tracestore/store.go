@@ -1,0 +1,200 @@
+// Package tracestore keeps a bounded in-process ring of completed
+// request traces for the render service, fed by tail-based sampling:
+// the retention decision is made after the request finishes, when its
+// status and latency are known, so the store holds exactly the traces
+// worth asking for — errors, deadline partials, latency outliers, and
+// a deterministic trickle of ordinary requests for baseline context.
+//
+// The store is bounded twice: a total byte budget (spans are retained
+// verbatim, so one 64-rank trace can outweigh a hundred tiny ones) and
+// a per-endpoint entry quota (so a chatty endpoint cannot evict the
+// one slow /render trace an operator is hunting). Eviction is oldest
+// first within each bound. Everything is a snapshot under one mutex;
+// insertion happens once per sampled request, never on a hot path.
+package tracestore
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"bgpvr/internal/trace"
+)
+
+// Trace is one retained request trace: identity, outcome, and the
+// request's tracer (span source for both the JSON span tree and the
+// Chrome trace_event export).
+type Trace struct {
+	ID       string
+	Endpoint string
+	Status   int           // final HTTP status code
+	Duration time.Duration // request latency the sampler judged
+	Reason   string        // why it was kept: "error", "slo", "p90", "rand"
+	Start    time.Time     // request arrival (wall clock)
+	Tracer   *trace.Tracer
+
+	size int64 // estimated retained bytes, fixed at Add time
+}
+
+// estimateSize approximates a trace's resident footprint: a fixed
+// per-entry overhead plus per-event cost (the Event struct and its
+// name header). It only has to be proportional and stable — the byte
+// budget is a retention dial, not an allocator accounting.
+func estimateSize(t *Trace) int64 {
+	const entryOverhead = 512
+	const perEvent = 72 // Event struct + slice slot
+	size := int64(entryOverhead + len(t.ID) + len(t.Endpoint) + len(t.Reason))
+	for _, e := range t.Tracer.Events() {
+		size += perEvent + int64(len(e.Name))
+	}
+	return size
+}
+
+// Config bounds a Store. Zero values take the documented defaults.
+type Config struct {
+	// BudgetBytes is the total estimated-byte budget (default 8 MiB).
+	BudgetBytes int64
+	// PerEndpoint caps retained traces per endpoint (default 64).
+	PerEndpoint int
+	// Now overrides the clock, for tests.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time occupancy snapshot, served in /status next
+// to the cache and admission state.
+type Stats struct {
+	Entries     int              `json:"entries"`
+	Bytes       int64            `json:"bytes"`
+	BudgetBytes int64            `json:"budget_bytes"`
+	Evictions   int64            `json:"evictions"`
+	ByReason    map[string]int64 `json:"by_reason,omitempty"` // kept counts per sample reason, cumulative
+}
+
+// Store is the bounded trace ring. The zero Store is not usable; use
+// New.
+type Store struct {
+	mu       sync.Mutex
+	cfg      Config
+	order    *list.List               // *Trace, oldest at front
+	byID     map[string]*list.Element // ID -> element in order
+	perEP    map[string]int           // live entries per endpoint
+	bytes    int64
+	evicted  int64
+	byReason map[string]int64
+}
+
+// New builds a store from cfg.
+func New(cfg Config) *Store {
+	if cfg.BudgetBytes <= 0 {
+		cfg.BudgetBytes = 8 << 20
+	}
+	if cfg.PerEndpoint <= 0 {
+		cfg.PerEndpoint = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Store{
+		cfg:      cfg,
+		order:    list.New(),
+		byID:     map[string]*list.Element{},
+		perEP:    map[string]int{},
+		byReason: map[string]int64{},
+	}
+}
+
+// Add retains t, evicting as needed: a duplicate ID replaces the old
+// entry, the endpoint quota evicts that endpoint's oldest trace, and
+// the byte budget evicts globally oldest traces until t fits. A trace
+// larger than the whole budget is dropped outright (counted as its own
+// eviction).
+func (s *Store) Add(t *Trace) {
+	t.size = estimateSize(t)
+	if t.Start.IsZero() {
+		t.Start = s.cfg.Now()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byReason[t.Reason]++
+	if t.size > s.cfg.BudgetBytes {
+		s.evicted++
+		return
+	}
+	if el, ok := s.byID[t.ID]; ok {
+		s.removeLocked(el)
+	}
+	for s.perEP[t.Endpoint] >= s.cfg.PerEndpoint {
+		s.evictOldestLocked(t.Endpoint)
+	}
+	for s.bytes+t.size > s.cfg.BudgetBytes && s.order.Len() > 0 {
+		s.evictOldestLocked("")
+	}
+	el := s.order.PushBack(t)
+	s.byID[t.ID] = el
+	s.perEP[t.Endpoint]++
+	s.bytes += t.size
+}
+
+// removeLocked detaches el without counting an eviction (replacement).
+func (s *Store) removeLocked(el *list.Element) {
+	t := el.Value.(*Trace)
+	s.order.Remove(el)
+	delete(s.byID, t.ID)
+	s.perEP[t.Endpoint]--
+	s.bytes -= t.size
+}
+
+// evictOldestLocked evicts the oldest trace — of endpoint when given,
+// else globally — and counts it.
+func (s *Store) evictOldestLocked(endpoint string) {
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		t := el.Value.(*Trace)
+		if endpoint != "" && t.Endpoint != endpoint {
+			continue
+		}
+		s.removeLocked(el)
+		s.evicted++
+		return
+	}
+}
+
+// Get returns the retained trace with the given ID.
+func (s *Store) Get(id string) (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Trace), true
+}
+
+// List returns the retained traces, newest first.
+func (s *Store) List() []*Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Trace, 0, s.order.Len())
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*Trace))
+	}
+	return out
+}
+
+// Stats returns the occupancy snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries:     s.order.Len(),
+		Bytes:       s.bytes,
+		BudgetBytes: s.cfg.BudgetBytes,
+		Evictions:   s.evicted,
+	}
+	if len(s.byReason) > 0 {
+		st.ByReason = make(map[string]int64, len(s.byReason))
+		for r, n := range s.byReason {
+			st.ByReason[r] = n
+		}
+	}
+	return st
+}

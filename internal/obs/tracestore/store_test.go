@@ -1,0 +1,215 @@
+package tracestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bgpvr/internal/trace"
+)
+
+// mkTrace builds a small trace with nspans spans so its estimated size
+// is predictable.
+func mkTrace(id, endpoint string, status int, dur time.Duration, reason string, nspans int) *Trace {
+	tr := trace.NewVirtual(1)
+	for i := 0; i < nspans; i++ {
+		tr.Rank(0).Emit(trace.PhaseRender, "render", float64(i), 1)
+	}
+	return &Trace{
+		ID: id, Endpoint: endpoint, Status: status, Duration: dur,
+		Reason: reason, Start: time.Unix(1, 0), Tracer: tr,
+	}
+}
+
+// TestStoreEvictionOrderUnderBytePressure pins byte-budget eviction:
+// the oldest traces leave first, exactly enough of them to fit the
+// newcomer, and the stats ledger tracks entries/bytes/evictions.
+func TestStoreEvictionOrderUnderBytePressure(t *testing.T) {
+	one := estimateSize(mkTrace("x", "/render", 200, time.Second, ReasonRand, 4))
+	s := New(Config{BudgetBytes: 3*one + one/2, PerEndpoint: 100})
+	for i := 0; i < 3; i++ {
+		s.Add(mkTrace(fmt.Sprintf("t%d", i), "/render", 200, time.Second, ReasonRand, 4))
+	}
+	if st := s.Stats(); st.Entries != 3 || st.Evictions != 0 {
+		t.Fatalf("pre-pressure stats = %+v", st)
+	}
+
+	// The fourth trace overflows the budget: t0 (oldest) must go.
+	s.Add(mkTrace("t3", "/render", 200, time.Second, ReasonP90, 4))
+	st := s.Stats()
+	if st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("post-pressure stats = %+v, want 3 entries / 1 eviction", st)
+	}
+	if _, ok := s.Get("t0"); ok {
+		t.Error("t0 survived byte pressure; eviction is not oldest-first")
+	}
+	if _, ok := s.Get("t3"); !ok {
+		t.Error("newcomer t3 was not retained")
+	}
+	list := s.List()
+	if len(list) != 3 || list[0].ID != "t3" || list[2].ID != "t1" {
+		ids := make([]string, len(list))
+		for i, tr := range list {
+			ids[i] = tr.ID
+		}
+		t.Errorf("List order (newest first) = %v, want [t3 t2 t1]", ids)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.BudgetBytes {
+		t.Errorf("bytes %d outside (0, budget %d]", st.Bytes, st.BudgetBytes)
+	}
+	if st.ByReason[ReasonRand] != 3 || st.ByReason[ReasonP90] != 1 {
+		t.Errorf("by-reason counts = %v", st.ByReason)
+	}
+}
+
+// TestStorePerEndpointQuota pins the quota: a chatty endpoint evicts
+// its own oldest trace, never another endpoint's.
+func TestStorePerEndpointQuota(t *testing.T) {
+	s := New(Config{BudgetBytes: 1 << 20, PerEndpoint: 2})
+	s.Add(mkTrace("keep", "/status", 200, time.Millisecond, ReasonRand, 1))
+	s.Add(mkTrace("a", "/render", 200, time.Second, ReasonRand, 2))
+	s.Add(mkTrace("b", "/render", 200, time.Second, ReasonRand, 2))
+	s.Add(mkTrace("c", "/render", 200, time.Second, ReasonRand, 2))
+	if _, ok := s.Get("a"); ok {
+		t.Error("oldest /render trace survived its endpoint quota")
+	}
+	for _, id := range []string{"keep", "b", "c"} {
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("trace %q missing", id)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestStoreDuplicateIDReplaces pins replacement semantics: re-adding
+// an ID swaps the entry without counting an eviction.
+func TestStoreDuplicateIDReplaces(t *testing.T) {
+	s := New(Config{})
+	s.Add(mkTrace("dup", "/render", 200, time.Second, ReasonRand, 1))
+	s.Add(mkTrace("dup", "/render", 503, 2*time.Second, ReasonError, 1))
+	got, ok := s.Get("dup")
+	if !ok || got.Status != 503 {
+		t.Fatalf("Get(dup) = %+v ok=%v, want the replacement (503)", got, ok)
+	}
+	if st := s.Stats(); st.Entries != 1 || st.Evictions != 0 {
+		t.Errorf("stats after replace = %+v", st)
+	}
+}
+
+// TestStoreOversizedTraceDropped pins the degenerate case: a trace
+// larger than the entire budget never enters (and never evicts what is
+// already retained).
+func TestStoreOversizedTraceDropped(t *testing.T) {
+	s := New(Config{BudgetBytes: 1024})
+	s.Add(mkTrace("small", "/render", 200, time.Second, ReasonRand, 1))
+	s.Add(mkTrace("huge", "/render", 200, time.Second, ReasonSLO, 1000))
+	if _, ok := s.Get("huge"); ok {
+		t.Error("oversized trace retained past the budget")
+	}
+	if _, ok := s.Get("small"); !ok {
+		t.Error("oversized arrival evicted the retained trace")
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (the dropped oversize)", st.Evictions)
+	}
+}
+
+// TestSamplerErrorAlwaysKept pins the first precedence rule.
+func TestSamplerErrorAlwaysKept(t *testing.T) {
+	s := NewSampler(SamplerConfig{RandN: -1}) // baseline keep off
+	for _, status := range []int{400, 429, 500, 503} {
+		keep, reason := s.Decide("/render", status, time.Microsecond)
+		if !keep || reason != ReasonError {
+			t.Errorf("status %d: keep=%v reason=%q, want error keep", status, keep, reason)
+		}
+	}
+	if keep, _ := s.Decide("/render", 200, time.Microsecond); keep {
+		t.Error("fast 200 kept with baseline sampling off and cold window")
+	}
+}
+
+// TestSamplerSLOBeatsP90 pins precedence: an SLO breach reads "slo"
+// even when it also exceeds the rolling p90.
+func TestSamplerSLOBeatsP90(t *testing.T) {
+	s := NewSampler(SamplerConfig{SLO: 100 * time.Millisecond, RandN: -1, MinCount: 1})
+	for i := 0; i < 30; i++ {
+		s.Decide("/render", 200, 10*time.Millisecond)
+	}
+	keep, reason := s.Decide("/render", 200, 500*time.Millisecond)
+	if !keep || reason != ReasonSLO {
+		t.Errorf("SLO breach: keep=%v reason=%q, want slo", keep, reason)
+	}
+}
+
+// TestSamplerP90Breach pins the rolling-p90 rule with a deterministic
+// latency sequence: after MinCount uniform observations, a clear
+// outlier is kept as "p90" while in-distribution requests are not, and
+// the window actually rolls (a regime change moves the threshold).
+func TestSamplerP90Breach(t *testing.T) {
+	s := NewSampler(SamplerConfig{RandN: -1, Window: 50, MinCount: 20})
+	// Before the window has MinCount observations, nothing p90-gates.
+	for i := 0; i < 19; i++ {
+		if keep, reason := s.Decide("/render", 200, time.Duration(i+1)*time.Hour); keep {
+			t.Fatalf("obs %d kept (%q) before MinCount", i, reason)
+		}
+	}
+	s.Decide("/render", 200, 10*time.Millisecond) // 20th observation
+	// Window now holds 19 huge warmup values and one 10ms: p90 is huge,
+	// so a 20ms request is in-distribution.
+	if keep, _ := s.Decide("/render", 200, 20*time.Millisecond); keep {
+		t.Error("in-distribution request kept by p90 rule")
+	}
+	// Refill the window with a tight 10ms regime; it must roll past the
+	// warmup values.
+	for i := 0; i < 50; i++ {
+		s.Decide("/render", 200, 10*time.Millisecond)
+	}
+	keep, reason := s.Decide("/render", 200, 50*time.Millisecond)
+	if !keep || reason != ReasonP90 {
+		t.Errorf("outlier after regime change: keep=%v reason=%q, want p90", keep, reason)
+	}
+	// Per-endpoint isolation: a different endpoint has a cold window.
+	if keep, reason := s.Decide("/status", 200, time.Hour); keep {
+		t.Errorf("cold endpoint kept (%q) via another endpoint's window", reason)
+	}
+}
+
+// TestSamplerRandDeterministic pins the 1-in-N baseline: with a seeded
+// source the keep pattern is reproducible and lands near 1/N.
+func TestSamplerRandDeterministic(t *testing.T) {
+	decide := func(seed int64) []bool {
+		s := NewSampler(SamplerConfig{RandN: 4, Seed: seed, MinCount: 1 << 30})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i], _ = s.Decide("/render", 200, time.Millisecond)
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	kept := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical seeds", i)
+		}
+		if a[i] {
+			kept++
+		}
+	}
+	// Mirror the sampler's own draw to pin the exact expected count.
+	want := 0
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		if rnd.Intn(4) == 0 {
+			want++
+		}
+	}
+	if kept != want {
+		t.Errorf("kept %d of 200, want exactly %d from seed 7", kept, want)
+	}
+	if kept < 20 || kept > 90 {
+		t.Errorf("kept %d of 200 at N=4 — far from 1-in-4", kept)
+	}
+}

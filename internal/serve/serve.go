@@ -15,6 +15,7 @@ import (
 
 	"bgpvr/internal/core"
 	"bgpvr/internal/obs"
+	"bgpvr/internal/obs/tracestore"
 	"bgpvr/internal/par"
 	"bgpvr/internal/telemetry"
 	"bgpvr/internal/trace"
@@ -49,6 +50,27 @@ type Config struct {
 	// Log receives structured access logs (default slog.Default()).
 	Log *slog.Logger
 
+	// SLO, when positive, classifies any slower /render request as a
+	// service-level breach: its trace is always retained (reason "slo")
+	// and, when DiagDir is set, a diagnostic bundle is written.
+	SLO time.Duration
+	// DiagDir, when set, receives slow-request diagnostic bundles —
+	// one JSON file per SLO breach (span tree, metrics snapshot,
+	// flight-recorder tail), capped at maxDiagBundles per process.
+	DiagDir string
+	// TraceBudgetMB bounds the in-process trace store's estimated
+	// resident bytes (default 8 MiB). -1 disables request tracing, the
+	// store, and the /traces query surface entirely.
+	TraceBudgetMB int
+	// TraceQuota caps retained traces per endpoint (default 64).
+	TraceQuota int
+	// TraceSampleN keeps 1 in N requests that no tail rule retained
+	// (default 16; 1 keeps everything, negative disables the baseline).
+	TraceSampleN int
+	// TraceSeed seeds the baseline sampler (default 1), so load tests
+	// can be made reproducible.
+	TraceSeed int64
+
 	// renderGate, when non-nil, is called while holding a render slot
 	// before the frame runs — a test hook for deterministic admission
 	// tests.
@@ -70,6 +92,12 @@ type Server struct {
 
 	fields *fieldCache
 	masks  *maskCache
+
+	// traces/sampler are the tail-sampled trace store (nil when
+	// disabled with TraceBudgetMB = -1); diagWritten caps SLO bundles.
+	traces      *tracestore.Store
+	sampler     *tracestore.Sampler
+	diagWritten atomic.Int64
 
 	requests *obs.CounterVec   // bgpvr_serve_requests_total{endpoint,code}
 	latency  *obs.HistogramVec // bgpvr_serve_latency_seconds{endpoint}
@@ -112,6 +140,9 @@ func New(cfg Config) *Server {
 	if cfg.Log == nil {
 		cfg.Log = slog.Default()
 	}
+	if cfg.TraceBudgetMB == 0 {
+		cfg.TraceBudgetMB = 8
+	}
 	r := cfg.Registry
 	s := &Server{
 		cfg:   cfg,
@@ -139,13 +170,30 @@ func New(cfg Config) *Server {
 	r.NewGaugeFunc("bgpvr_serve_queue_depth", "Admitted requests waiting for a render slot.",
 		func() float64 { return max(0, float64(s.waiting.Load()-s.inflight.Load())) })
 
+	if cfg.TraceBudgetMB > 0 {
+		s.traces = tracestore.New(tracestore.Config{
+			BudgetBytes: int64(cfg.TraceBudgetMB) << 20,
+			PerEndpoint: cfg.TraceQuota,
+		})
+		s.sampler = tracestore.NewSampler(tracestore.SamplerConfig{
+			SLO: cfg.SLO, RandN: cfg.TraceSampleN, Seed: cfg.TraceSeed,
+		})
+		// Exemplars link latency buckets back to retained traces; off
+		// with the store so the disabled path stays allocation-free.
+		s.latency.EnableExemplars()
+	}
+
 	s.mux = telemetry.NewDebugMux(telemetry.DebugSource{
 		RunsPath: cfg.RunsPath,
 		Extra: []telemetry.DebugEndpoint{
 			{Path: "/render", Desc: "render a frame (POST, JSON body)",
 				Handler: s.instrument("/render", s.handleRender)},
-			{Path: "/status", Desc: "service status: uptime, admission, per-endpoint latency quantiles, caches",
+			{Path: "/status", Desc: "service status: uptime, admission, per-endpoint latency quantiles, caches, trace store",
 				Handler: s.instrument("/status", s.handleStatus)},
+			{Path: "/traces", Desc: "tail-sampled request traces: list with store occupancy (GET)",
+				Handler: s.instrument("/traces", s.handleTraces)},
+			{Path: "/traces/{id}", Desc: "one retained trace: span tree JSON, ?format=chrome for trace_event",
+				Handler: s.instrument("/traces/{id}", s.handleTraceByID)},
 		},
 	})
 	return s
@@ -201,10 +249,23 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// carrierKey carries the request's traceCarrier through the context.
+type carrierKey struct{}
+
+// traceCarrier rides the request context between instrument and the
+// endpoint handler: the handler deposits the sampling verdict before
+// writing its response, and instrument's tail stamps the latency
+// histogram with the retained trace's ID as an exemplar.
+type traceCarrier struct {
+	t0       time.Time
+	exemplar string // retained trace ID, "" when the trace was dropped
+}
+
 // instrument wraps an endpoint with the request-scoped observability
 // stack: request ID (accepted from X-Request-ID or generated, echoed
 // back, and attached to the context so core notes it in the flight
-// ring), RED metrics, and a structured access log line.
+// ring), RED metrics with trace exemplars, and a structured access log
+// line.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.latency.With(obs.Labels("endpoint", endpoint))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -215,15 +276,28 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 		}
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r.WithContext(core.WithRequestID(r.Context(), id)))
+		car := &traceCarrier{t0: t0}
+		ctx := context.WithValue(core.WithRequestID(r.Context(), id), carrierKey{}, car)
+		h(sw, r.WithContext(ctx))
 		dur := time.Since(t0)
-		hist.Observe(dur.Seconds())
+		if car.exemplar != "" {
+			hist.ObserveEx(dur.Seconds(), car.exemplar)
+		} else {
+			hist.Observe(dur.Seconds())
+		}
 		s.requests.With(obs.Labels("endpoint", endpoint, "code", strconv.Itoa(sw.code))).Inc()
 		s.log.Info("request",
 			"request_id", id, "endpoint", endpoint, "method", r.Method,
 			"code", sw.code, "dur_ms", float64(dur.Microseconds())/1e3,
 			"remote", r.RemoteAddr)
 	})
+}
+
+// carrierFrom returns the request's trace carrier (nil outside
+// instrument, e.g. in direct handler tests).
+func carrierFrom(ctx context.Context) *traceCarrier {
+	c, _ := ctx.Value(carrierKey{}).(*traceCarrier)
+	return c
 }
 
 // writeJSON writes v as the response with the given status code.
@@ -260,7 +334,8 @@ type RenderResponse struct {
 const maxBodyBytes = 1 << 20
 
 // handleRender is POST /render: decode, validate, admit, render,
-// report.
+// report. Every exit path runs the tail-sampling decision so the trace
+// store sees rejected and expired requests too (those always retain).
 func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	id := core.RequestIDFrom(r.Context())
 	if r.Method != http.MethodPost {
@@ -287,58 +362,82 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
+	// The request tracer is created before admission so queue time is
+	// on the trace. Model mode keeps its virtual tracer (created in
+	// renderFrame); its wall-side spans would not share a clock with
+	// the modeled timeline.
+	var tr *trace.Tracer
+	if spec.mode != "model" {
+		tr = trace.New(spec.procs)
+	}
+	r0 := tr.Rank(0)
+
 	// Admission: bounded queue, then a render slot. The deadline keeps
 	// ticking while queued, so a stuck service sheds load with 503s
 	// and an overfull one with 429s.
 	n := s.waiting.Add(1)
 	defer s.waiting.Add(-1)
+	adm := r0.Begin(trace.PhaseOther, "admission")
 	if n > int64(s.cfg.MaxConcurrent+s.cfg.QueueDepth) {
+		adm.End()
 		s.rejected.Inc()
+		s.finishTrace(ctx, id, http.StatusTooManyRequests, tr)
 		writeJSON(w, http.StatusTooManyRequests, errorReply{
 			Error: fmt.Sprintf("queue full (%d in flight or queued)", n-1), RequestID: id})
 		return
 	}
+	qw := r0.Begin(trace.PhaseOther, "queue-wait")
 	select {
 	case s.slots <- struct{}{}:
+		qw.End()
 		defer func() { <-s.slots }()
 	case <-ctx.Done():
+		qw.End()
+		adm.End()
 		s.deadline.Inc()
+		s.finishTrace(ctx, id, http.StatusServiceUnavailable, tr)
 		writeJSON(w, http.StatusServiceUnavailable, errorReply{
 			Error: "deadline expired while queued", RequestID: id})
 		return
 	}
+	adm.End()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	if s.cfg.renderGate != nil {
 		s.cfg.renderGate()
 	}
 
-	resp, tr, err := s.renderFrame(ctx, id, spec)
+	resp, tr, err := s.renderFrame(ctx, id, spec, tr)
 	if err != nil {
 		if ctx.Err() != nil {
 			// The frame ran out of deadline mid-flight: 503 with the
 			// partial perf report (whatever spans completed).
 			s.deadline.Inc()
 			rep := s.buildReport(id, spec, tr, nil, 0, true)
+			rep.Trace = s.finishTrace(ctx, id, http.StatusServiceUnavailable, tr)
 			writeJSON(w, http.StatusServiceUnavailable, errorReply{
 				Error: err.Error(), RequestID: id, Report: rep})
 			return
 		}
+		s.finishTrace(ctx, id, http.StatusInternalServerError, tr)
 		writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error(), RequestID: id})
 		return
 	}
+	resp.Report.Trace = s.finishTrace(ctx, id, http.StatusOK, tr)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // renderFrame executes the validated job with request-scoped tracing
-// and telemetry. The tracer is returned even on error so the caller
-// can build a partial report.
-func (s *Server) renderFrame(ctx context.Context, id string, spec *jobSpec) (*RenderResponse, *trace.Tracer, error) {
+// and telemetry. Real mode records onto the caller's wall tracer (the
+// one carrying the admission spans); model mode lays its virtual
+// timeline on a fresh virtual tracer. The tracer is returned even on
+// error so the caller can build a partial report.
+func (s *Server) renderFrame(ctx context.Context, id string, spec *jobSpec, tr *trace.Tracer) (*RenderResponse, *trace.Tracer, error) {
 	nt := &telemetry.NetTelemetry{}
 	resp := &RenderResponse{RequestID: id, Mode: spec.mode}
 	switch spec.mode {
 	case "model":
-		tr := trace.NewVirtual(1)
+		tr = trace.NewVirtual(1)
 		res, err := core.RunModel(core.ModelConfig{
 			Ctx: ctx, Scene: spec.scene, Procs: spec.procs, Compositors: spec.m,
 			Format: core.FormatGenerate, Trace: tr, Net: nt,
@@ -350,7 +449,6 @@ func (s *Server) renderFrame(ctx context.Context, id string, spec *jobSpec) (*Re
 		resp.Report = s.buildReport(id, spec, tr, nt, res.Times.Total, false)
 		return resp, tr, nil
 	default: // "real"
-		tr := trace.New(spec.procs)
 		res, err := core.RunReal(core.RealConfig{
 			Ctx: ctx, Scene: spec.scene, Procs: spec.procs, Compositors: spec.m,
 			Algo: spec.algo, Format: core.FormatGenerate, Trace: tr, Net: nt,
@@ -363,11 +461,14 @@ func (s *Server) renderFrame(ctx context.Context, id string, spec *jobSpec) (*Re
 		resp.Samples = res.Samples
 		resp.Report = s.buildReport(id, spec, tr, nt, res.Times.Total, false)
 		if spec.image {
+			enc := tr.Rank(0).Begin(trace.PhaseOther, "encode")
 			var buf bytes.Buffer
 			if err := res.Image.EncodePPM(&buf, 0); err != nil {
+				enc.End()
 				return nil, tr, err
 			}
 			resp.ImagePPM = base64.StdEncoding.EncodeToString(buf.Bytes())
+			enc.End()
 		}
 		return resp, tr, nil
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bgpvr/internal/obs"
+	"bgpvr/internal/obs/tracestore"
 )
 
 // EndpointStatus is one endpoint's RED summary: request counts by
@@ -48,6 +49,10 @@ type StatusReply struct {
 	Deadline503   int64            `json:"deadline_503"`
 	Endpoints     []EndpointStatus `json:"endpoints"`
 	Cache         CacheStatus      `json:"cache"`
+	// TraceStore is the tail-sampled trace store's occupancy (absent
+	// when tracing is disabled): entries, bytes against budget,
+	// evictions, and cumulative kept counts per sample reason.
+	TraceStore *tracestore.Stats `json:"trace_store,omitempty"`
 }
 
 // Status assembles the live status snapshot.
@@ -102,6 +107,10 @@ func (s *Server) Status() StatusReply {
 		return st.Endpoints[i].Endpoint < st.Endpoints[j].Endpoint
 	})
 
+	if s.traces != nil {
+		ts := s.traces.Stats()
+		st.TraceStore = &ts
+	}
 	fe, fb := s.fields.Stats()
 	st.Cache = CacheStatus{
 		FieldHits:    s.fields.hits.Value(),
@@ -149,6 +158,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "cache: field %d hits / %d misses (%d entries, %d bytes); mask %d hits / %d misses (%d entries)\n",
 		st.Cache.FieldHits, st.Cache.FieldMisses, st.Cache.FieldEntries, st.Cache.FieldBytes,
 		st.Cache.MaskHits, st.Cache.MaskMisses, st.Cache.MaskEntries)
+	if ts := st.TraceStore; ts != nil {
+		reasons := make([]string, 0, len(ts.ByReason))
+		for reason, n := range ts.ByReason {
+			reasons = append(reasons, fmt.Sprintf("%s:%d", reason, n))
+		}
+		sort.Strings(reasons)
+		fmt.Fprintf(&b, "traces: %d retained (%d / %d bytes), %d evicted; kept %s\n",
+			ts.Entries, ts.Bytes, ts.BudgetBytes, ts.Evictions, strings.Join(reasons, " "))
+	}
 	fmt.Fprint(w, b.String())
 }
 

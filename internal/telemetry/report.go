@@ -30,7 +30,9 @@ import (
 //	6 — adds the service section (render-service load-test results:
 //	    per-concurrency latency percentiles, throughput, error and
 //	    admission counts)
-const ReportSchema = 6
+//	7 — adds the trace section (per-request tail-sampling verdict) and
+//	    the service points' slowest-request / failed-request IDs
+const ReportSchema = 7
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -54,7 +56,21 @@ type Report struct {
 	Fidelity   *FidelityStat     `json:"fidelity,omitempty"`
 	Flowsim    *FlowsimStat      `json:"flowsim,omitempty"`
 	Service    *ServiceStat      `json:"service,omitempty"`
+	Trace      *TraceStat        `json:"trace,omitempty"`
 	Runtime    *RuntimeStat      `json:"runtime,omitempty"`
+}
+
+// TraceStat records a request's tail-sampling verdict in its perf
+// report: whether the trace was retained in the service's trace store
+// and why, so a client holding a slow response knows immediately
+// whether /traces/{trace_id} will answer.
+type TraceStat struct {
+	TraceID string `json:"trace_id"`
+	// Spans is the number of recorded span events (before nesting).
+	Spans    int  `json:"spans"`
+	Retained bool `json:"retained"`
+	// Reason is "error", "slo", "p90", or "rand" when retained.
+	Reason string `json:"reason,omitempty"`
 }
 
 // ServiceStat records a render-service load test: one point per
@@ -94,6 +110,14 @@ type ServicePoint struct {
 	// across the point, when the harness could read them from /status.
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// SlowestMs/SlowestID identify the level's slowest request by the
+	// server-assigned X-Request-ID, so it can be looked up in the
+	// service's trace store (/traces/{id}) after the run.
+	SlowestMs float64 `json:"slowest_ms,omitempty"`
+	SlowestID string  `json:"slowest_id,omitempty"`
+	// FailIDs are the request IDs of non-2xx outcomes (capped by the
+	// harness), for the same post-hoc trace lookup.
+	FailIDs []string `json:"fail_ids,omitempty"`
 }
 
 // ErrorRate returns the fraction of requests that did not end 2xx.

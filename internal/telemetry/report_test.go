@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -425,7 +426,7 @@ func TestServiceStatRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Service == nil || len(back.Service.Points) != 1 || back.Service.Points[0] != p {
+	if back.Service == nil || len(back.Service.Points) != 1 || !reflect.DeepEqual(back.Service.Points[0], p) {
 		t.Errorf("round trip mismatch: %+v", back.Service)
 	}
 }
