@@ -61,6 +61,7 @@ func main() {
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	workers := flag.Int("workers", 0, "worker goroutines for the parallel render loops (0 = all cores)")
 	flowsimApprox := flag.Float64("flowsim-approx", -1, "cross-check the model's compositing phase with the max-min flow kernel: 0 runs it exactly, eps > 0 the bounded-error clustered approximation (< 0 skips; model mode)")
+	flowsimEndpointAgg := flag.Bool("flowsim-endpoint-agg", false, "with -flowsim-approx, also pool endpoint-region interior hops onto the regional aggregates (only injection/ejection hops stay physical); engages above the decomposition's floor")
 	progress := flag.Bool("progress", false, "emit periodic structured progress heartbeats (phase done/total, rate, ETA) to stderr")
 	progressInterval := flag.Duration("progress-interval", obs.DefaultHeartbeatInterval, "heartbeat period for -progress")
 	crashDump := flag.String("crash-dump", "", "write a flight record (recent events, phase progress, metrics, goroutine stacks) to this file on SIGQUIT/SIGTERM or -soft-deadline, then exit")
@@ -98,7 +99,7 @@ func main() {
 		window: *window, ghostExchange: *ghostExchange, frames: *frames, out: *out,
 		traceOut: *traceOut, breakdown: *breakdown, critpath: *critOut,
 		debugAddr: *debugAddr, perfReport: *perfReport, linkmap: *linkmap,
-		runRecord: *runRecord, flowsimEps: *flowsimApprox,
+		runRecord: *runRecord, flowsimEps: *flowsimApprox, flowsimEndpointAgg: *flowsimEndpointAgg,
 		crashDump: *crashDump, softDeadline: *softDeadline,
 		workers: par.Workers(*workers)}); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpvr:", err)
@@ -135,27 +136,28 @@ func parseFormat(s string) (core.Format, error) {
 
 // runArgs carries the parsed CLI flags.
 type runArgs struct {
-	mode          string
-	n, imgSize    int
-	procs, m      int
-	format, path  string
-	algo          string
-	persp, shaded bool
-	window        int64
-	ghostExchange bool
-	frames        int
-	out           string
-	traceOut      string
-	breakdown     bool
-	critpath      string
-	debugAddr     string
-	perfReport    string
-	linkmap       string
-	runRecord     string
-	flowsimEps    float64 // -flowsim-approx: < 0 off, 0 exact, > 0 eps
-	crashDump     string
-	softDeadline  time.Duration
-	workers       int // resolved pool width (par.Workers already applied)
+	mode               string
+	n, imgSize         int
+	procs, m           int
+	format, path       string
+	algo               string
+	persp, shaded      bool
+	window             int64
+	ghostExchange      bool
+	frames             int
+	out                string
+	traceOut           string
+	breakdown          bool
+	critpath           string
+	debugAddr          string
+	perfReport         string
+	linkmap            string
+	runRecord          string
+	flowsimEps         float64 // -flowsim-approx: < 0 off, 0 exact, > 0 eps
+	flowsimEndpointAgg bool
+	crashDump          string
+	softDeadline       time.Duration
+	workers            int // resolved pool width (par.Workers already applied)
 }
 
 // critTopK is how many straggler ranks each phase reports.
@@ -373,8 +375,10 @@ func run(a runArgs) error {
 		}
 		var fs *telemetry.FlowsimStat
 		if a.flowsimEps >= 0 {
-			exact := a.flowsimEps > 0 && procs <= bench.FlowScaleExactMax
-			pt, err := bench.FlowScaleAt(mach, scene, procs, m, a.flowsimEps, a.workers, exact)
+			pt, err := bench.FlowScaleAt(mach, scene, bench.FlowScaleConfig{
+				Procs: procs, M: m, Eps: a.flowsimEps, Workers: a.workers,
+				EndpointAgg: a.flowsimEndpointAgg,
+			})
 			if err != nil {
 				return err
 			}

@@ -5,7 +5,7 @@
 //
 //	experiments [-exp all|table1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|ablations|crossmachine]
 //	experiments -exp fidelity [-scorecard card.json] [-perf-report rep.json] [-run-record runs.jsonl]
-//	experiments -exp flowscale [-procs 32768] [-flowsim-approx 0.25] [-workers 4] [-n 256] [-img 1024]
+//	experiments -exp flowscale [-procs 131072] [-flowsim-approx 0.25] [-flowsim-endpoint-agg] [-workers 4] [-n 256] [-img 1024]
 //	experiments -breakdown [-procs 16384] [-trace frame.json]
 //
 // The output rows mirror what the paper plots; EXPERIMENTS.md records
@@ -101,13 +101,13 @@ func fidelityRun(mach machine.Machine, workers int, scorecardOut, perfReport, ru
 }
 
 // flowScaleRun streams the direct-send compositing exchange through
-// the contention kernel at scale (bench.FlowScale), prints the
+// the contention kernel at scale (bench.FlowScaleRun), prints the
 // wire-level Fig-4 view, and exports the scale point's flowsim section
 // when a perf report or run record was asked for.
-func flowScaleRun(mach machine.Machine, n, imgSize, procs int, eps float64, workers int, perfReport, runRecord string) error {
+func flowScaleRun(mach machine.Machine, n, imgSize int, cfg bench.FlowScaleConfig, perfReport, runRecord string) error {
 	wallStart := time.Now()
 	scene := core.DefaultScene(n, imgSize)
-	pts, text, err := bench.FlowScale(mach, scene, procs, eps, workers)
+	pts, text, err := bench.FlowScaleRun(mach, scene, cfg)
 	if err != nil {
 		return err
 	}
@@ -121,14 +121,17 @@ func flowScaleRun(mach machine.Machine, n, imgSize, procs int, eps float64, work
 		"exp":   "flowscale",
 		"n":     strconv.Itoa(n),
 		"img":   strconv.Itoa(imgSize),
-		"procs": strconv.Itoa(procs),
-		"eps":   strconv.FormatFloat(eps, 'g', -1, 64),
+		"procs": strconv.Itoa(cfg.Procs),
+		"eps":   strconv.FormatFloat(cfg.Eps, 'g', -1, 64),
+	}
+	if cfg.EndpointAgg {
+		r.Config["endpoint_agg"] = "true"
 	}
 	r.TotalSec = pt.ApproxSec
-	r.Flowsim = pt.Stat(eps, workers)
+	r.Flowsim = pt.Stat(cfg.Eps, cfg.Workers)
 	r.AddRuntime(time.Since(wallStart).Seconds())
 	busy, wall := par.Stats()
-	r.AddParallel(workers, busy.Seconds(), wall.Seconds())
+	r.AddParallel(cfg.Workers, busy.Seconds(), wall.Seconds())
 	if perfReport != "" {
 		if err := r.WriteFile(perfReport); err != nil {
 			return fmt.Errorf("writing perf report: %w", err)
@@ -239,6 +242,7 @@ func main() {
 	runRecord := flag.String("run-record", "", "append this run's perf report to the JSONL run registry (see cmd/perfhistory)")
 	workers := flag.Int("workers", 0, "worker goroutines for the sweep and render loops (0 = all cores)")
 	flowsimApprox := flag.Float64("flowsim-approx", 0, "clustered-contention error bound eps for -exp flowscale (0 = exact kernel)")
+	flowsimEndpointAgg := flag.Bool("flowsim-endpoint-agg", false, "with -flowsim-approx, also pool endpoint-region interior hops onto the regional aggregates (only injection/ejection hops stay physical); engages above the decomposition's floor")
 	progress := flag.Bool("progress", false, "emit periodic structured progress heartbeats (phase done/total, rate, ETA) to stderr")
 	progressInterval := flag.Duration("progress-interval", obs.DefaultHeartbeatInterval, "heartbeat period for -progress")
 	crashDump := flag.String("crash-dump", "", "write a flight record (recent events, phase progress, metrics, goroutine stacks) to this file on SIGQUIT/SIGTERM or -soft-deadline, then exit")
@@ -308,7 +312,10 @@ func main() {
 		return
 	}
 	if *exp == "flowscale" {
-		if err := flowScaleRun(mach, *n, *imgSize, *procs, *flowsimApprox, w, *perfReport, *runRecord); err != nil {
+		cfg := bench.FlowScaleConfig{
+			Procs: *procs, Eps: *flowsimApprox, Workers: w, EndpointAgg: *flowsimEndpointAgg,
+		}
+		if err := flowScaleRun(mach, *n, *imgSize, cfg, *perfReport, *runRecord); err != nil {
 			fail(err)
 		}
 		return

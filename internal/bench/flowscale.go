@@ -13,15 +13,60 @@ import (
 	"bgpvr/internal/telemetry"
 )
 
-// FlowScaleExactMax is the largest core count the flow-scale sweep
-// cross-checks against the exact kernel: past it the exact leg costs
-// minutes and the self-measured bound gap stands in for the true
-// error.
-var FlowScaleExactMax = 2048
+// DefaultFlowScaleExactMax is the default largest core count the
+// flow-scale sweep cross-checks against the exact kernel: past it the
+// exact leg costs minutes and the self-measured bound gap stands in
+// for the true error.
+const DefaultFlowScaleExactMax = 2048
 
-// flowScaleValidation are the small configs every flow-scale run
-// re-validates exactly before trusting the approximate scale point.
-var flowScaleValidation = []int{256, 512}
+// FlowScaleExactMax is the package-level exact-check ceiling read only
+// by the deprecated FlowScale wrapper.
+//
+// Deprecated: set FlowScaleConfig.ExactMax instead. A mutable package
+// var races with concurrent sweeps; the config field is per-run.
+var FlowScaleExactMax = DefaultFlowScaleExactMax
+
+// FlowScaleConfig parameterizes one contention-kernel scale sweep.
+// The zero value of every field but Procs picks the sweep's defaults,
+// so FlowScaleConfig{Procs: 32768, Eps: 0.25} is a complete config.
+type FlowScaleConfig struct {
+	// Procs is the scale point's core count.
+	Procs int
+	// M is the compositor count; <= 0 applies the paper's improved
+	// compositor rule.
+	M int
+	// Eps > 0 runs the clustered contention approximation with that
+	// relative-error bound; 0 runs the exact kernel only.
+	Eps float64
+	// Workers is the gang width for the sharded kernel sections.
+	Workers int
+	// EndpointAgg dials on endpoint-hop aggregation: above the
+	// engagement floor only each flow's injection and ejection hops
+	// stay physical and interior endpoint-region hops pool onto the
+	// regional aggregates. Ignored when Eps == 0.
+	EndpointAgg bool
+	// ExactMax is the largest core count cross-checked against the
+	// exact kernel; 0 means DefaultFlowScaleExactMax.
+	ExactMax int
+	// Validation lists the small core counts re-validated exactly
+	// before the scale point; nil means 256 and 512. Counts >= Procs
+	// are skipped.
+	Validation []int
+}
+
+func (cfg FlowScaleConfig) exactMax() int {
+	if cfg.ExactMax > 0 {
+		return cfg.ExactMax
+	}
+	return DefaultFlowScaleExactMax
+}
+
+func (cfg FlowScaleConfig) validation() []int {
+	if cfg.Validation != nil {
+		return cfg.Validation
+	}
+	return []int{256, 512}
+}
 
 // FlowScalePoint is one core count of the contention-kernel scale
 // sweep: the direct-send compositing exchange streamed through the
@@ -52,6 +97,7 @@ func (pt FlowScalePoint) Stat(eps float64, workers int) *telemetry.FlowsimStat {
 		ApproxSec:   pt.ApproxSec,
 		Events:      pt.Events,
 		Workers:     workers,
+		WallSec:     pt.WallSec,
 	}
 	if pt.Info != nil {
 		st.RegionSide = pt.Info.Side
@@ -59,18 +105,25 @@ func (pt FlowScalePoint) Stat(eps float64, workers int) *telemetry.FlowsimStat {
 		st.ModelLinks = pt.Info.ModelLinks
 		st.PhysLinks = pt.Info.PhysLinks
 		st.LowerBoundSec = pt.Info.LowerBound
+		st.EndpointAgg = pt.Info.EndpointAgg
+		st.UsedLinks = pt.Info.UsedLinks
 	}
 	return st
 }
 
 // FlowScaleAt streams one direct-send compositing exchange through the
-// contention kernel. m <= 0 applies the paper's improved compositor
-// rule. eps > 0 runs the clustered approximation; exact additionally
-// runs the exact kernel and scores the true relative error (otherwise
+// contention kernel at cfg.Procs cores. When cfg.Eps > 0 and the core
+// count is within cfg's exact-check ceiling, the exact kernel also
+// runs and the true relative error is scored; past the ceiling
 // ObservedErr is the approximation's self-measured bound gap, which
-// bounds the truth from above).
-func FlowScaleAt(mach machine.Machine, scene core.Scene, procs, m int, eps float64, workers int, exact bool) (FlowScalePoint, error) {
-	top, p, nm := core.CompositePhaseMessages(mach, scene, procs, m, 0)
+// bounds the truth from above. Either way the run is refused with an
+// error when the observed error exceeds cfg.Eps — a scale point whose
+// own certificate cannot place it inside the requested band is not
+// reported.
+func FlowScaleAt(mach machine.Machine, scene core.Scene, cfg FlowScaleConfig) (FlowScalePoint, error) {
+	procs := cfg.Procs
+	top, p, nm := core.CompositePhaseMessages(mach, scene, procs, cfg.M, 0)
+	m := cfg.M
 	if m <= 0 {
 		m = machine.ImprovedCompositors(procs)
 	}
@@ -89,7 +142,9 @@ func FlowScaleAt(mach machine.Machine, scene core.Scene, procs, m int, eps float
 		pt.Bytes += m.Bytes
 	}
 	t0 := time.Now()
-	res, info := flowsim.SimulateOpt(top, p, nm, flowsim.Options{ApproxEps: eps, Workers: workers})
+	res, info := flowsim.SimulateOpt(top, p, nm, flowsim.Options{
+		ApproxEps: cfg.Eps, Workers: cfg.Workers, EndpointAgg: cfg.EndpointAgg,
+	})
 	pt.WallSec = time.Since(t0).Seconds()
 	if res.Completions != len(nm) {
 		return pt, fmt.Errorf("bench: flowsim completed %d of %d flows at %d cores", res.Completions, len(nm), procs)
@@ -98,15 +153,22 @@ func FlowScaleAt(mach machine.Machine, scene core.Scene, procs, m int, eps float
 	if info != nil {
 		pt.ObservedErr = info.BoundGap
 	}
-	if exact && eps > 0 {
+	if cfg.Eps > 0 && procs <= cfg.exactMax() {
 		ex := flowsim.SimulateTimed(top, p, nm, nil, nil)
 		pt.ExactSec = ex.Time
 		if ex.Time > 0 {
 			pt.ObservedErr = math.Abs(res.Time-ex.Time) / ex.Time
 			pt.ErrExact = true
 		}
-	} else if eps <= 0 {
+	} else if cfg.Eps <= 0 {
 		pt.ExactSec = res.Time
+	}
+	if cfg.Eps > 0 && pt.ObservedErr > cfg.Eps {
+		kind := "self-measured bound gap"
+		if pt.ErrExact {
+			kind = "error vs exact"
+		}
+		return pt, fmt.Errorf("bench: approx %s %.4f exceeds eps %g at %d cores", kind, pt.ObservedErr, cfg.Eps, procs)
 	}
 	if pt.ApproxSec > 0 {
 		pt.BW = float64(pt.Bytes) / pt.ApproxSec
@@ -114,35 +176,36 @@ func FlowScaleAt(mach machine.Machine, scene core.Scene, procs, m int, eps float
 	return pt, nil
 }
 
-// FlowScale is the contention-kernel scale experiment: the validation
-// core counts re-check the approximation against the exact kernel,
-// then the scale point runs at procs — approximately when eps > 0
-// (with an exact cross-check only up to FlowScaleExactMax), exactly
-// otherwise. The table is the wire-level Fig-4 view: the direct-send
-// exchange's effective aggregate bandwidth at each scale, with the
-// approximation's observed error alongside. The returned points end
-// with the scale point.
-func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, workers int) ([]FlowScalePoint, string, error) {
+// FlowScaleRun is the contention-kernel scale experiment: the
+// validation core counts re-check the approximation against the exact
+// kernel, then the scale point runs at cfg.Procs — approximately when
+// cfg.Eps > 0 (with an exact cross-check only up to cfg's exact-check
+// ceiling), exactly otherwise. Every point inherits FlowScaleAt's
+// refusal: an observed error (or, past the ceiling, a bound gap) above
+// eps aborts the sweep. The table is the wire-level Fig-4 view: the
+// direct-send exchange's effective aggregate bandwidth at each scale,
+// with the approximation's observed error alongside. The returned
+// points end with the scale point.
+func FlowScaleRun(mach machine.Machine, scene core.Scene, cfg FlowScaleConfig) ([]FlowScalePoint, string, error) {
 	var counts []int
-	for _, p := range flowScaleValidation {
-		if p < procs {
+	for _, p := range cfg.validation() {
+		if p < cfg.Procs {
 			counts = append(counts, p)
 		}
 	}
-	counts = append(counts, procs)
+	counts = append(counts, cfg.Procs)
 	pts := make([]FlowScalePoint, len(counts))
 	fsPhase := obs.GetPhase("flowscale")
 	fsPhase.Start(int64(len(counts)))
 	defer fsPhase.End()
 	for i, p := range counts {
-		exact := p <= FlowScaleExactMax
-		obs.Note("flowscale point %d/%d: %d cores (exact cross-check %v)", i+1, len(counts), p, exact)
-		pt, err := FlowScaleAt(mach, scene, p, 0, eps, workers, exact)
+		ptCfg := cfg
+		ptCfg.Procs = p
+		obs.Note("flowscale point %d/%d: %d cores (exact cross-check %v)",
+			i+1, len(counts), p, cfg.Eps > 0 && p <= cfg.exactMax())
+		pt, err := FlowScaleAt(mach, scene, ptCfg)
 		if err != nil {
 			return nil, "", err
-		}
-		if eps > 0 && pt.ErrExact && pt.ObservedErr > eps {
-			return nil, "", fmt.Errorf("bench: approx error %.4f exceeds eps %g at %d cores", pt.ObservedErr, eps, p)
 		}
 		pts[i] = pt
 		fsPhase.Add(1)
@@ -150,7 +213,7 @@ func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, w
 
 	t := Table{
 		Title: fmt.Sprintf("Flow-level compositing scale (direct-send, %d^2 image, eps=%g, %d workers)",
-			scene.ImageW, eps, workers),
+			scene.ImageW, cfg.Eps, cfg.Workers),
 		Columns: []string{"cores", "m", "msgs", "phase", "agg BW", "err", "err kind", "events", "wall"},
 	}
 	for _, pt := range pts {
@@ -166,4 +229,14 @@ func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, w
 			fmt.Sprint(pt.Events), secs(pt.WallSec))
 	}
 	return pts, t.String(), nil
+}
+
+// FlowScale runs FlowScaleRun with the legacy parameter list and the
+// package-level FlowScaleExactMax ceiling.
+//
+// Deprecated: use FlowScaleRun with a FlowScaleConfig.
+func FlowScale(mach machine.Machine, scene core.Scene, procs int, eps float64, workers int) ([]FlowScalePoint, string, error) {
+	return FlowScaleRun(mach, scene, FlowScaleConfig{
+		Procs: procs, Eps: eps, Workers: workers, ExactMax: FlowScaleExactMax,
+	})
 }

@@ -52,10 +52,55 @@ func TestFlowScaleSmall(t *testing.T) {
 	}
 }
 
+// TestFlowScaleConfig exercises the config surface: a custom
+// validation list and exact-check ceiling, with endpoint-hop
+// aggregation dialed on. The scale point sits past the ceiling, so its
+// error is the self-measured bound gap; the decomposition at 2048
+// cores (512 nodes, side 4) clears the engagement floor, so the point
+// and its perf-report stat must record the dial.
+func TestFlowScaleConfig(t *testing.T) {
+	mach := machine.NewBGP()
+	scene := core.DefaultScene(64, 256)
+	cfg := FlowScaleConfig{
+		Procs: 2048, Eps: 0.08, Workers: 2, EndpointAgg: true,
+		ExactMax: 512, Validation: []int{256},
+	}
+	pts, table, err := FlowScaleRun(mach, scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want the 256 validation point plus the 2048 scale point, got %d points", len(pts))
+	}
+	if !pts[0].ErrExact {
+		t.Errorf("validation point below ExactMax was not exact-checked: %+v", pts[0])
+	}
+	last := pts[1]
+	if last.ErrExact {
+		t.Errorf("scale point above ExactMax was exact-checked: %+v", last)
+	}
+	if last.Info == nil || !last.Info.EndpointAgg {
+		t.Fatalf("endpoint aggregation did not engage at the scale point: %+v", last.Info)
+	}
+	if last.ObservedErr > cfg.Eps {
+		t.Errorf("bound gap %.4f exceeds eps %g", last.ObservedErr, cfg.Eps)
+	}
+	st := last.Stat(cfg.Eps, cfg.Workers)
+	if !st.EndpointAgg || st.UsedLinks <= 0 || st.WallSec <= 0 {
+		t.Errorf("Stat missing endpoint-aggregation fields: %+v", st)
+	}
+	if st.UsedLinks > st.ModelLinks {
+		t.Errorf("UsedLinks %d exceeds model link space %d", st.UsedLinks, st.ModelLinks)
+	}
+	if !strings.Contains(table, "bound gap") {
+		t.Errorf("table missing bound-gap err kind:\n%s", table)
+	}
+}
+
 // TestFlowScaleExact pins the eps=0 path: the sweep runs the exact
 // kernel only and reports zero error.
 func TestFlowScaleExact(t *testing.T) {
-	pt, err := FlowScaleAt(machine.NewBGP(), core.DefaultScene(64, 256), 512, 0, 0, 1, false)
+	pt, err := FlowScaleAt(machine.NewBGP(), core.DefaultScene(64, 256), FlowScaleConfig{Procs: 512, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

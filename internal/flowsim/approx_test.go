@@ -91,6 +91,97 @@ func TestApproxSkewedPattern(t *testing.T) {
 	}
 }
 
+// TestApproxEndpointAggWithinEps repeats the bounded-error property
+// test with endpoint-hop aggregation dialed on: wherever the
+// decomposition clears the engagement floor (side >= 4 with at least
+// endpointAggMinRegions regions) the coarser model — only injection
+// and ejection hops physical — must still land within eps of the
+// exact kernel, and the certified lower bound must still hold.
+func TestApproxEndpointAggWithinEps(t *testing.T) {
+	p := params()
+	for _, cfg := range approxRefConfigs() {
+		top := torus.NewTopology(cfg.nodes)
+		rng := rand.New(rand.NewSource(cfg.seed))
+		msgs := randomMsgs(rng, top.Nodes(), cfg.n)
+		exact := SimulateTimed(top, p, msgs, nil, nil)
+		for _, eps := range []float64{0.02, 0.08, 0.25} {
+			t.Run(fmt.Sprintf("nodes%d/seed%d/eps%g", cfg.nodes, cfg.seed, eps), func(t *testing.T) {
+				res, info := SimulateOpt(top, p, msgs, Options{ApproxEps: eps, EndpointAgg: true})
+				if info == nil {
+					t.Fatal("approx mode returned no ApproxInfo")
+				}
+				if err := math.Abs(res.Time-exact.Time) / exact.Time; err > eps {
+					t.Errorf("observed error %.4f exceeds eps %g (side %d, endpoint %v, exact %.6g, approx %.6g)",
+						err, eps, info.Side, info.EndpointAgg, exact.Time, res.Time)
+				}
+				if exact.Time < info.LowerBound*(1-1e-9) {
+					t.Errorf("exact time %.6g below certified lower bound %.6g", exact.Time, info.LowerBound)
+				}
+				if info.EndpointAgg && (info.Side < 4 || info.Regions < endpointAggMinRegions) {
+					t.Errorf("endpoint aggregation engaged below its floor: %+v", info)
+				}
+				if info.UsedLinks <= 0 && res.Completions > 0 {
+					t.Errorf("UsedLinks not measured: %+v", info)
+				}
+			})
+		}
+	}
+}
+
+// TestApproxEndpointAggShrinksModel pins the point of the dial: on a
+// direct-send-like skewed pattern over a decomposition above the
+// engagement floor, endpoint aggregation must (a) reference strictly
+// fewer model links than the endpoint-exact clustering, (b) stay
+// within eps of the exact kernel, and (c) keep worker-count
+// determinism.
+func TestApproxEndpointAggShrinksModel(t *testing.T) {
+	p := params()
+	const nodes, eps = 512, 0.08
+	top := torus.NewTopology(nodes)
+	rng := rand.New(rand.NewSource(99))
+	comps := nodes / 16
+	var msgs []torus.Message
+	for s := 0; s < nodes; s++ {
+		for j := 0; j < 3; j++ {
+			msgs = append(msgs, torus.Message{
+				Src: s, Dst: (rng.Intn(comps) * 16) % nodes, Bytes: 1 + rng.Int63n(1<<20),
+			})
+		}
+	}
+	exact := SimulateTimed(top, p, msgs, nil, nil)
+	base, baseInfo := SimulateOpt(top, p, msgs, Options{ApproxEps: eps})
+	res, info := SimulateOpt(top, p, msgs, Options{ApproxEps: eps, EndpointAgg: true})
+	if !info.EndpointAgg {
+		t.Fatalf("endpoint aggregation did not engage: %+v", info)
+	}
+	if baseInfo.EndpointAgg {
+		t.Fatalf("endpoint aggregation engaged without the dial: %+v", baseInfo)
+	}
+	if info.UsedLinks >= baseInfo.UsedLinks {
+		t.Errorf("endpoint aggregation kept %d model links, endpoint-exact %d — no reduction",
+			info.UsedLinks, baseInfo.UsedLinks)
+	}
+	if err := math.Abs(res.Time-exact.Time) / exact.Time; err > eps {
+		t.Errorf("observed error %.4f exceeds eps %g (exact %.6g, approx %.6g, base %.6g)",
+			err, eps, exact.Time, res.Time, base.Time)
+	}
+	var ft1 FlowTimes
+	want, _ := SimulateOpt(top, p, msgs, Options{ApproxEps: eps, EndpointAgg: true, Workers: 1, Times: &ft1})
+	forceSharding(t)
+	for _, workers := range []int{2, 4} {
+		var ftW FlowTimes
+		got, _ := SimulateOpt(top, p, msgs, Options{ApproxEps: eps, EndpointAgg: true, Workers: workers, Times: &ftW})
+		if got != want {
+			t.Errorf("workers=%d Result %+v, want %+v", workers, got, want)
+		}
+		for i := range msgs {
+			if ftW.Done[i] != ft1.Done[i] {
+				t.Fatalf("workers=%d msg %d done %v, want %v", workers, i, ftW.Done[i], ft1.Done[i])
+			}
+		}
+	}
+}
+
 // TestApproxDegradesToExact pins the floor of the eps mapping: a bound
 // tighter than the smallest calibrated band runs the exact kernel and
 // reports a zero-width error band.

@@ -67,6 +67,36 @@ func BenchmarkFlowsimSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowsimEndpointAgg measures the endpoint-hop-aggregated
+// approximation on CI's 32K-rank scale-smoke workload (the direct-send
+// exchange of a 64^3 volume onto a 256^2 image) at eps 0.25. This is
+// the configuration the EXPERIMENTS.md speedup table tracks: endpoint
+// aggregation collapses each flow's endpoint fan onto weighted
+// regional-aggregate entries, shrinking every flow's constraint set
+// (and with it freeze-round events, 3.1x here) — which is what makes
+// the 64K/128K sweep points tractable.
+func BenchmarkFlowsimEndpointAgg(b *testing.B) {
+	const procs = 32768
+	top, p, nm := core.CompositePhaseMessages(machine.NewBGP(), core.DefaultScene(64, 256), procs, 0, 0)
+	keep := nm[:0]
+	for _, m := range nm {
+		if m.Src != m.Dst {
+			keep = append(keep, m)
+		}
+	}
+	nm = keep
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, info := SimulateOpt(top, p, nm, Options{ApproxEps: 0.25, EndpointAgg: true})
+		if r.Completions != len(nm) {
+			b.Fatalf("completed %d of %d flows", r.Completions, len(nm))
+		}
+		if info == nil || !info.EndpointAgg {
+			b.Fatalf("endpoint aggregation did not engage: %+v", info)
+		}
+	}
+}
+
 // BenchmarkFlowsimApprox measures the clustered contention
 // approximation against the exact leg at the same scale: the eps-knob
 // trade of accuracy for event-loop work.

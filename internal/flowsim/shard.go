@@ -35,7 +35,26 @@ type Options struct {
 	// bound. Eps below the smallest calibrated band degrades to the
 	// exact kernel.
 	ApproxEps float64
+	// EndpointAgg additionally aggregates the interior hops of each
+	// flow's endpoint regions (torus.Regions.EndpointAgg): only the
+	// injection hop out of the source node and the ejection hop into
+	// the destination node keep their physical identity, so the
+	// per-flow endpoint fan — the dominant model-link population on
+	// direct-send workloads past 32K ranks — collapses onto the same
+	// regional aggregates transit hops use. Only meaningful with
+	// ApproxEps > 0; it engages when the decomposition is coarse
+	// enough to pay (side >= 4 and at least endpointAggMinRegions
+	// regions — below that nearly every hop is an injection/ejection
+	// hop already and pooling would spend accuracy for nothing).
+	// ApproxInfo.EndpointAgg reports whether it actually engaged.
+	EndpointAgg bool
 }
+
+// endpointAggMinRegions is the engagement floor for Options.EndpointAgg:
+// decompositions with fewer regions keep endpoint hops physical even
+// when the dial is on (they are dominated by injection/ejection hops,
+// which stay physical regardless).
+const endpointAggMinRegions = 8
 
 // ApproxInfo reports what the clustered contention approximation did;
 // SimulateOpt returns nil when ApproxEps was not engaged.
@@ -45,6 +64,15 @@ type ApproxInfo struct {
 	Regions    int     // clusters in the decomposition
 	PhysLinks  int     // physical directed links
 	ModelLinks int     // simulated model links (aggregates + exact)
+	// EndpointAgg reports whether endpoint-hop aggregation engaged
+	// (Options.EndpointAgg requested it and the decomposition cleared
+	// the engagement floor).
+	EndpointAgg bool
+	// UsedLinks counts the model links the streamed flows actually
+	// reference — the live population the event loop iterates, and the
+	// number endpoint aggregation exists to shrink (ModelLinks is just
+	// the id-space size).
+	UsedLinks int
 	// LowerBound is the certifiable completion-time floor: the
 	// heaviest physical link's load over its bandwidth, plus the
 	// endpoint overheads and route latency every flow pays. The exact
@@ -84,8 +112,12 @@ func SimulateOpt(top torus.Topology, p torus.Params, msgs []torus.Message, opt O
 		return res, info
 	}
 	rg := torus.NewRegions(top, side)
+	if opt.EndpointAgg && side >= 4 && rg.NumRegions() >= endpointAggMinRegions {
+		rg.EndpointAgg = true
+	}
 	info.Regions = rg.NumRegions()
 	info.ModelLinks = rg.NumModelLinks()
+	info.EndpointAgg = rg.EndpointAgg
 	res := simulateFlex(top, p, msgs, nil, opt.Times, workers, rg, info)
 	return res, info
 }
@@ -103,6 +135,7 @@ var (
 	shardMinTouches = 2048 // freeze round: route entries touched
 	shardMinLinks   = 4096 // event reset: active links refiled
 	shardMinFlows   = 8192 // advance: live members drained
+	shardMinScan    = 4096 // pop sweep: bucket entries scanned
 )
 
 // simulateFlex is the generalized sparse kernel behind SimulateOpt: it
@@ -161,16 +194,7 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 			gidOf[key] = g
 			var links, ws []int32
 			if rg != nil {
-				srcReg, dstReg := rg.RegionOf(m.Src), rg.RegionOf(m.Dst)
-				top.Route(m.Src, m.Dst, func(l int) {
-					ml := int32(rg.MapLink(srcReg, dstReg, l))
-					if n := len(links); n > 0 && links[n-1] == ml {
-						ws[n-1]++
-						return
-					}
-					links = append(links, ml)
-					ws = append(ws, 1)
-				})
+				links, ws = rg.ModelRoute(m.Src, m.Dst)
 				mults = append(mults, ws)
 				groupBytes = append(groupBytes, 0)
 			} else {
@@ -253,6 +277,9 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 			activeLinks = append(activeLinks, int32(l))
 		}
 	}
+	if info != nil {
+		info.UsedLinks = len(activeLinks)
+	}
 	gs := make([]groupState, ngroups)
 	for g := range gs {
 		gs[g] = groupState{front: mOff[g], end: mOff[g+1]}
@@ -313,12 +340,18 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 		links  []int32 // reset: the active links being refiled
 		nGrp   int     // advance: live prefix of activeGroups
 		dt     float64
+		scan   []int32 // pop sweep: the bucket list being scanned
+		scanB  int32   // pop sweep: the bucket being scanned
 	}
 	// Per-worker deterministic-merge scratch: refile pushes buffered as
-	// (bucket<<32 | link), event-reset buckets, advance done-counts.
+	// (bucket<<32 | link), event-reset buckets, advance done-counts,
+	// pop-sweep survivor counts and per-worker running minima.
 	refBuf := make([][]int64, workers)
 	fileB := make([]int32, len(activeLinks))
 	doneK := make([]int32, ngroups)
+	scanWr := make([]int32, workers)
+	scanBestL := make([]int, workers)
+	scanBestS := make([]float64, workers)
 	freezeShard := func(w int) {
 		lks, off := swLinks[w], swOff[w]
 		var mls []int32
@@ -403,6 +436,46 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 			st.inBucket = b
 			fileB[pos] = b
 		}
+	}
+	// scanShard is one worker's tile of the pop sweep over the lowest
+	// occupied bucket: it compacts surviving entries in place inside
+	// its own tile (disjoint writes), buffers stale-entry refiles in
+	// worker-local order, and keeps a worker-local lexicographic
+	// (share, link) minimum. Nothing in linkState is written here —
+	// stale entries' inBucket moves are deferred to the serial merge,
+	// so a link whose entry was duplicated across tiles (a dip refile
+	// resurrected by a later rise, which the serial sweep tolerates) is
+	// read-only shared and the merge drops the duplicate exactly as
+	// the serial sweep would.
+	scanShard := func(w int) {
+		lst := rnd.scan
+		lo, hi := tile(len(lst), w)
+		b := rnd.scanB
+		wr := lo
+		best := -1
+		var bestS float64
+		buf := refBuf[w][:0]
+		for pos := lo; pos < hi; pos++ {
+			l32 := lst[pos]
+			st := &ls[l32]
+			if st.inBucket != b || st.unfrozen == 0 {
+				continue
+			}
+			s := st.avail / float64(st.unfrozen)
+			if tb := int32(math.Float64bits(s) >> bShift); tb != b {
+				buf = append(buf, int64(tb)<<32|int64(l32))
+				continue
+			}
+			lst[wr] = l32
+			wr++
+			if best < 0 || s < bestS || (s == bestS && int(l32) < best) {
+				best = int(l32)
+				bestS = s
+			}
+		}
+		scanWr[w] = int32(wr - lo)
+		scanBestL[w], scanBestS[w] = best, bestS
+		refBuf[w] = buf
 	}
 	advanceShard := func(w int) {
 		lo0, hi0 := tile(rnd.nGrp, w)
@@ -509,22 +582,60 @@ func simulateFlex(top torus.Topology, p torus.Params, msgs []torus.Message,
 				wr := 0
 				best := -1
 				var bestS float64
-				for _, l32 := range lst {
-					st := &ls[l32]
-					if st.inBucket != int32(b) || st.unfrozen == 0 {
-						continue
+				if gang != nil && len(lst) >= shardMinScan {
+					// Sharded sweep: workers compact their own
+					// contiguous tiles in place, so concatenating the
+					// survivor segments in worker order reproduces the
+					// serial compaction order; stale-entry refiles are
+					// buffered per worker and applied in worker order
+					// (= list order); and the selected minimum is the
+					// lexicographic merge of the worker minima —
+					// order-independent, so bit-identical to the
+					// serial sweep's.
+					rnd.scan, rnd.scanB = lst, int32(b)
+					gang.Run(scanShard)
+					for w := 0; w < workers; w++ {
+						lo, _ := tile(len(lst), w)
+						n := int(scanWr[w])
+						copy(lst[wr:wr+n], lst[lo:lo+n])
+						wr += n
+						if wl := scanBestL[w]; wl >= 0 {
+							if best < 0 || scanBestS[w] < bestS || (scanBestS[w] == bestS && wl < best) {
+								best = wl
+								bestS = scanBestS[w]
+							}
+						}
 					}
-					s := st.avail / float64(st.unfrozen)
-					if tb := int(math.Float64bits(s) >> bShift); tb != b {
-						st.inBucket = int32(tb)
-						file(l32, int32(tb))
-						continue
+					for w := 0; w < workers; w++ {
+						for _, e := range refBuf[w] {
+							l, tb := int32(e&0xffffffff), int32(e>>32)
+							st := &ls[l]
+							if st.inBucket != int32(b) {
+								continue // duplicate entry; already lifted
+							}
+							st.inBucket = tb
+							file(l, tb)
+						}
+						refBuf[w] = refBuf[w][:0]
 					}
-					lst[wr] = l32
-					wr++
-					if best < 0 || s < bestS || (s == bestS && int(l32) < best) {
-						best = int(l32)
-						bestS = s
+				} else {
+					for _, l32 := range lst {
+						st := &ls[l32]
+						if st.inBucket != int32(b) || st.unfrozen == 0 {
+							continue
+						}
+						s := st.avail / float64(st.unfrozen)
+						if tb := int(math.Float64bits(s) >> bShift); tb != b {
+							st.inBucket = int32(tb)
+							file(l32, int32(tb))
+							continue
+						}
+						lst[wr] = l32
+						wr++
+						if best < 0 || s < bestS || (s == bestS && int(l32) < best) {
+							best = int(l32)
+							bestS = s
+						}
 					}
 				}
 				bucket[b] = lst[:wr]

@@ -15,10 +15,10 @@ import (
 // equivalence suite uses, restoring them when the test ends.
 func forceSharding(t *testing.T) {
 	t.Helper()
-	touches, links, flows := shardMinTouches, shardMinLinks, shardMinFlows
-	shardMinTouches, shardMinLinks, shardMinFlows = 1, 1, 1
+	touches, links, flows, scan := shardMinTouches, shardMinLinks, shardMinFlows, shardMinScan
+	shardMinTouches, shardMinLinks, shardMinFlows, shardMinScan = 1, 1, 1, 1
 	t.Cleanup(func() {
-		shardMinTouches, shardMinLinks, shardMinFlows = touches, links, flows
+		shardMinTouches, shardMinLinks, shardMinFlows, shardMinScan = touches, links, flows, scan
 	})
 }
 

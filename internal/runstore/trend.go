@@ -40,10 +40,12 @@ func (s Series) Last() float64 {
 
 // Metrics extracts the tracked metric series from the records: total
 // frame time, each phase's mean time, each phase's imbalance factor,
-// the critical-path duration, the aggregate fidelity score, and — for
-// records carrying a render-service load test — each concurrency
-// level's p99 latency and throughput. Metric order is deterministic:
-// the fixed metrics first, then phase metrics sorted by name.
+// the critical-path duration, the aggregate fidelity score, for
+// records carrying a render-service load test each concurrency level's
+// p99 latency and throughput, and for records carrying a flowsim
+// section the simulation's wall time and observed approximation error.
+// Metric order is deterministic: the fixed metrics first, then phase
+// metrics sorted by name.
 func Metrics(recs []Record) []Series {
 	n := len(recs)
 	blank := func(name, unit string) *Series {
@@ -56,6 +58,8 @@ func Metrics(recs []Record) []Series {
 	total := blank("total_sec", "s")
 	critpath := blank("critpath path_sec", "s")
 	fidelity := blank("fidelity score", "score")
+	flowsimWall := blank("flowsim wall_sec", "s")
+	flowsimErr := blank("flowsim observed_err", "ratio")
 	phase := map[string]*Series{}
 	imbal := map[string]*Series{}
 	service := map[string]*Series{}
@@ -89,6 +93,14 @@ func Metrics(recs []Record) []Series {
 			}
 			s.Values[i] = p.Imbalance
 		}
+		if r.Flowsim != nil {
+			if r.Flowsim.WallSec > 0 {
+				flowsimWall.Values[i] = r.Flowsim.WallSec
+			}
+			// 0 is a real observation (exact kernel, or a binding
+			// clamp) — record it whenever the section is present.
+			flowsimErr.Values[i] = r.Flowsim.ObservedErr
+		}
 		if r.Service != nil {
 			put := func(name, unit string, v float64) {
 				s, ok := service[name]
@@ -105,7 +117,7 @@ func Metrics(recs []Record) []Series {
 			}
 		}
 	}
-	out := []Series{*total, *fidelity, *critpath}
+	out := []Series{*total, *fidelity, *critpath, *flowsimWall, *flowsimErr}
 	for _, m := range []map[string]*Series{phase, imbal, service} {
 		names := make([]string, 0, len(m))
 		for name := range m {

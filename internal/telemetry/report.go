@@ -32,7 +32,10 @@ import (
 //	    admission counts)
 //	7 — adds the trace section (per-request tail-sampling verdict) and
 //	    the service points' slowest-request / failed-request IDs
-const ReportSchema = 7
+//	8 — flowsim section gains approx_endpoint (endpoint-hop
+//	    aggregation engaged), approx_used_links (distinct model links
+//	    the flow set references), and wall_sec (simulation wall time)
+const ReportSchema = 8
 
 // Report is the machine-readable perf record of one run: the trace
 // breakdown, telemetry aggregates, runtime/alloc stats, and the run
@@ -149,6 +152,17 @@ type FlowsimStat struct {
 	ApproxSec     float64 `json:"approx_sec,omitempty"`
 	Events        int64   `json:"events,omitempty"`
 	Workers       int     `json:"workers,omitempty"`
+	// EndpointAgg marks that endpoint-hop aggregation engaged: only
+	// injection and ejection hops kept physical identity, interior
+	// endpoint-region hops pooled onto regional aggregates.
+	EndpointAgg bool `json:"approx_endpoint,omitempty"`
+	// UsedLinks is the number of distinct model links the flow set
+	// actually referenced — the working-set size the kernel iterates,
+	// which endpoint aggregation exists to shrink.
+	UsedLinks int `json:"approx_used_links,omitempty"`
+	// WallSec is the simulation's wall-clock cost (not simulated
+	// time), the quantity the scale sweeps optimize.
+	WallSec float64 `json:"wall_sec,omitempty"`
 }
 
 // FidelityStat is the paper-fidelity scorecard section: how closely

@@ -22,6 +22,17 @@ import "bgpvr/internal/grid"
 type Regions struct {
 	Top  Topology
 	Side int
+	// EndpointAgg additionally pools the *interior* hops of a flow's
+	// endpoint regions onto the same directional aggregates transit
+	// hops use, keeping only two hops per flow physical: the injection
+	// hop out of the source node and the ejection hop into the
+	// destination node. Those two are where direct-send contention
+	// concentrates (the paper's many-to-one "hot spots"), so they stay
+	// exact while the per-flow endpoint fan — which dominates the model
+	// link count at 32K+ ranks — collapses. Set it via NewRegionsOpt;
+	// ModelRoute honors it, MapLink always keeps endpoint regions
+	// physical.
+	EndpointAgg bool
 	// RDims is the region-grid extent per axis (ceil(Dims/Side)).
 	RDims grid.IVec3
 
@@ -29,15 +40,22 @@ type Regions struct {
 	size  []int32 // region id -> member node count
 }
 
-// NewRegions builds the region decomposition for cluster side >= 1.
+// NewRegions builds the region decomposition for cluster side >= 1,
+// with endpoint-region hops kept physical (EndpointAgg off).
 func NewRegions(top Topology, side int) *Regions {
+	return NewRegionsOpt(top, side, false)
+}
+
+// NewRegionsOpt is NewRegions with the endpoint-hop aggregation dial.
+func NewRegionsOpt(top Topology, side int, endpointAgg bool) *Regions {
 	if side < 1 {
 		side = 1
 	}
 	ceil := func(n int) int { return (n + side - 1) / side }
 	r := &Regions{
-		Top:  top,
-		Side: side,
+		Top:         top,
+		Side:        side,
+		EndpointAgg: endpointAgg,
 		RDims: grid.IVec3{
 			X: ceil(top.Dims.X), Y: ceil(top.Dims.Y), Z: ceil(top.Dims.Z),
 		},
@@ -74,6 +92,42 @@ func (r *Regions) MapLink(srcReg, dstReg, link int) int {
 		return 6*r.NumRegions() + link
 	}
 	return 6*reg + dir
+}
+
+// ModelRoute maps the dimension-ordered route from src to dst into
+// model link space, merging consecutive hops through the same model
+// link into one weighted entry (a flow crossing w links pooled into
+// one aggregate claims w shares of it). Without EndpointAgg every hop
+// inside the flow's endpoint regions keeps its physical identity
+// (MapLink's rule); with it only the injection hop out of src and the
+// ejection hop into dst stay physical and every other hop collapses
+// onto the owning region's directional aggregate. Dimension-ordered
+// routes sweep each region coordinate monotonically, so a route never
+// revisits a model link after leaving it and the consecutive merge is
+// exact. src == dst returns empty slices.
+func (r *Regions) ModelRoute(src, dst int) (links, ws []int32) {
+	srcReg, dstReg := int(r.regOf[src]), int(r.regOf[dst])
+	base := 6 * r.NumRegions()
+	r.Top.Route(src, dst, func(l int) {
+		var ml int32
+		node, dir := LinkOf(l)
+		if r.EndpointAgg {
+			if node == src || r.Top.Neighbor(node, dir) == dst {
+				ml = int32(base + l)
+			} else {
+				ml = int32(6*int(r.regOf[node]) + dir)
+			}
+		} else {
+			ml = int32(r.MapLink(srcReg, dstReg, l))
+		}
+		if n := len(links); n > 0 && links[n-1] == ml {
+			ws[n-1]++
+			return
+		}
+		links = append(links, ml)
+		ws = append(ws, 1)
+	})
+	return links, ws
 }
 
 // ModelCapacity returns each model link's capacity in bytes/s: one

@@ -112,6 +112,20 @@ func LinkIndex(id, dir int) int { return id*6 + dir }
 // direction code.
 func LinkOf(link int) (node, dir int) { return link / 6, link % 6 }
 
+// Neighbor returns the node one hop from id in direction dir (0..5
+// encoding +X, -X, +Y, -Y, +Z, -Z), wrapping around the torus — i.e.
+// the node the directed link LinkIndex(id, dir) lands on.
+func (t Topology) Neighbor(id, dir int) int {
+	c := t.Coord(id)
+	axis := dir / 2
+	n := t.Dims.Comp(axis)
+	step := 1
+	if dir&1 == 1 {
+		step = n - 1 // -1 mod n
+	}
+	return t.ID(c.SetComp(axis, (c.Comp(axis)+step)%n))
+}
+
 // dirNames are the direction codes' display names.
 var dirNames = [6]string{"+X", "-X", "+Y", "-Y", "+Z", "-Z"}
 

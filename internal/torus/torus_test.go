@@ -57,6 +57,42 @@ func TestHopsSymmetricAndTriangle(t *testing.T) {
 	}
 }
 
+func TestNeighborMatchesLinks(t *testing.T) {
+	top := Topology{Dims: grid.I(5, 4, 3)}
+	// Ring wrap in each direction, including n=3 where -1 mod n = 2.
+	if got := top.Neighbor(top.ID(grid.I(4, 0, 0)), 0); got != top.ID(grid.I(0, 0, 0)) {
+		t.Errorf("+X wrap: got %d", got)
+	}
+	if got := top.Neighbor(top.ID(grid.I(0, 0, 0)), 5); got != top.ID(grid.I(0, 0, 2)) {
+		t.Errorf("-Z wrap: got %d", got)
+	}
+	// Every route's last link must land on the destination, and each
+	// hop's link must be LinkIndex of the node Neighbor steps from.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b := rng.Intn(top.Nodes()), rng.Intn(top.Nodes())
+		at := a
+		top.Route(a, b, func(l int) {
+			node, dir := LinkOf(l)
+			if node != at {
+				t.Fatalf("route %d->%d: hop from %d, expected %d", a, b, node, at)
+			}
+			at = top.Neighbor(node, dir)
+		})
+		if at != b {
+			t.Fatalf("route %d->%d: Neighbor chain ends at %d", a, b, at)
+		}
+	}
+	// Neighbor is its own inverse through the opposite direction.
+	for id := 0; id < top.Nodes(); id++ {
+		for dir := 0; dir < 6; dir++ {
+			if back := top.Neighbor(top.Neighbor(id, dir), dir^1); back != id {
+				t.Fatalf("node %d dir %d: inverse walk lands on %d", id, dir, back)
+			}
+		}
+	}
+}
+
 func TestRouteLengthMatchesHops(t *testing.T) {
 	top := Topology{Dims: grid.I(4, 4, 4)}
 	rng := rand.New(rand.NewSource(9))
